@@ -1,0 +1,63 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark writes its regenerated table/figure to
+``benchmarks/results/<name>.txt`` so the artifacts survive pytest's
+output capturing; the same text is also printed (visible with ``-s``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.algorithms import ALGORITHMS
+from repro.synth import SynthesisConfig, SynthesisEngine, SynthesisResult
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text)
+    print(text)
+    return path
+
+
+def synthesize_bundle(name: str, model: str, kind: str,
+                      executions_per_round: int = 800,
+                      max_rounds: int = 12, seed: int = 7,
+                      flush_prob: Optional[float] = None) -> SynthesisResult:
+    """Run the engine on a named benchmark with its tuned parameters."""
+    bundle = ALGORITHMS[name]
+    if flush_prob is None:
+        flush_prob = bundle.flush_prob[model]
+    config = SynthesisConfig(
+        memory_model=model, flush_prob=flush_prob,
+        executions_per_round=executions_per_round,
+        max_rounds=max_rounds, seed=seed)
+    engine = SynthesisEngine(config)
+    return engine.synthesize(bundle.compile(), bundle.spec(kind),
+                             entries=bundle.entries,
+                             operations=bundle.operations)
+
+
+def describe(result: SynthesisResult) -> str:
+    """One-cell description of a synthesis outcome (Table 3 style)."""
+    if result.outcome.value == "cannot_fix":
+        return "- (cannot satisfy)"
+    locations = result.fence_locations()
+    return " ".join(locations) if locations else "0"
+
+
+def format_table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [max(len(str(row[i])) for row in [headers] + rows)
+              for i in range(len(headers))]
+    lines = []
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

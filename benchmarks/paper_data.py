@@ -1,0 +1,117 @@
+"""The paper's reported results, transcribed for side-by-side comparison.
+
+Table 3 of the paper, as (algorithm, spec, model) → human-readable fence
+set.  "0" means no fences inferred; "-" means the property cannot be
+satisfied (Cilk's THE under linearizability) or no specification was
+available (iWSQ under SC/linearizability).
+"""
+
+#: (algorithm, spec, model) -> the paper's Table 3 cell.
+PAPER_TABLE3 = {
+    ("chase_lev", "memory_safety", "tso"): "0",
+    ("chase_lev", "memory_safety", "pso"): "0",
+    ("chase_lev", "sc", "tso"): "F1 (take)",
+    ("chase_lev", "sc", "pso"): "F1 (take), F2 (put)",
+    ("chase_lev", "lin", "tso"): "F1, F2",
+    ("chase_lev", "lin", "pso"): "F1, F2, F3 (end of put)",
+    ("cilk_the", "memory_safety", "tso"): "0",
+    ("cilk_the", "memory_safety", "pso"): "0",
+    ("cilk_the", "sc", "tso"): "(put,11:13) (take,5:7)",
+    ("cilk_the", "sc", "pso"): "(put,11:13) (take,5:7) (steal,6:8)",
+    ("cilk_the", "lin", "tso"): "- (not linearizable)",
+    ("cilk_the", "lin", "pso"): "- (not linearizable)",
+    ("fifo_iwsq", "memory_safety", "tso"): "0",
+    ("fifo_iwsq", "memory_safety", "pso"):
+        "(put,4:5) (put,5:-) (take,5:-)",
+    ("lifo_iwsq", "memory_safety", "tso"): "0",
+    ("lifo_iwsq", "memory_safety", "pso"): "(put,3:4) (take,4:-)",
+    ("anchor_iwsq", "memory_safety", "tso"): "0",
+    ("anchor_iwsq", "memory_safety", "pso"): "(put,3:4) (take,4:-)",
+    ("fifo_wsq", "memory_safety", "tso"): "0",
+    ("fifo_wsq", "memory_safety", "pso"): "0",
+    ("fifo_wsq", "sc", "tso"): "0   <- headline: fence-free",
+    ("fifo_wsq", "sc", "pso"): "(put,4:5) (put,5:-)",
+    ("fifo_wsq", "lin", "tso"): "(put,4:5)",
+    ("fifo_wsq", "lin", "pso"): "(put,4:5) (put,5:-)",
+    ("lifo_wsq", "memory_safety", "tso"): "0",
+    ("lifo_wsq", "memory_safety", "pso"): "0",
+    ("lifo_wsq", "sc", "tso"): "0",
+    ("lifo_wsq", "sc", "pso"): "(put,3:4)",
+    ("lifo_wsq", "lin", "tso"): "0",
+    ("lifo_wsq", "lin", "pso"): "(put,3:4)",
+    ("anchor_wsq", "memory_safety", "tso"): "0",
+    ("anchor_wsq", "memory_safety", "pso"): "0",
+    ("anchor_wsq", "sc", "tso"): "0",
+    ("anchor_wsq", "sc", "pso"): "(put,3:4)",
+    ("anchor_wsq", "lin", "tso"): "0",
+    ("anchor_wsq", "lin", "pso"): "(put,3:4)",
+    ("ms2_queue", "memory_safety", "tso"): "0",
+    ("ms2_queue", "memory_safety", "pso"): "0",
+    ("ms2_queue", "sc", "tso"): "0",
+    ("ms2_queue", "sc", "pso"): "0",
+    ("ms2_queue", "lin", "tso"): "0",
+    ("ms2_queue", "lin", "pso"): "0",
+    ("msn_queue", "memory_safety", "tso"): "0",
+    ("msn_queue", "memory_safety", "pso"): "0",
+    ("msn_queue", "sc", "tso"): "0",
+    ("msn_queue", "sc", "pso"): "(enqueue,E3:E4)",
+    ("msn_queue", "lin", "tso"): "0",
+    ("msn_queue", "lin", "pso"): "(enqueue,E3:E4)",
+    ("lazy_list", "memory_safety", "tso"): "0",
+    ("lazy_list", "memory_safety", "pso"): "0",
+    ("lazy_list", "sc", "tso"): "0",
+    ("lazy_list", "sc", "pso"): "0",
+    ("lazy_list", "lin", "tso"): "0",
+    ("lazy_list", "lin", "pso"): "0",
+    ("harris_set", "memory_safety", "tso"): "0",
+    ("harris_set", "memory_safety", "pso"): "0",
+    ("harris_set", "sc", "tso"): "0",
+    ("harris_set", "sc", "pso"): "(insert,8:9)",
+    ("harris_set", "lin", "tso"): "0",
+    ("harris_set", "lin", "pso"): "(insert,8:9)",
+    ("michael_allocator", "memory_safety", "tso"): "0",
+    ("michael_allocator", "memory_safety", "pso"):
+        "(MFNSB,11:13) (DescAlloc,5:8) (DescRetire,2:4)",
+    ("michael_allocator", "sc", "tso"): "0",
+    ("michael_allocator", "sc", "pso"):
+        "(MFNSB,11:13) (DescAlloc,5:8) (DescRetire,2:4) (free,16:18)",
+    ("michael_allocator", "lin", "tso"): "0",
+    ("michael_allocator", "lin", "pso"):
+        "(MFNSB,11:13) (DescAlloc,5:8) (DescRetire,2:4) (free,16:18)",
+}
+
+#: Table 3 size columns from the paper (source LOC, bytecode LOC,
+#: insertion points) — the authors' C/LLVM numbers, for scale comparison.
+PAPER_SIZES = {
+    "chase_lev": (150, 696, 96),
+    "cilk_the": (167, 778, 105),
+    "fifo_iwsq": (149, 686, 102),
+    "lifo_iwsq": (152, 702, 101),
+    "anchor_iwsq": (162, 843, 107),
+    "fifo_wsq": (143, 789, 91),
+    "lifo_wsq": (136, 693, 92),
+    "anchor_wsq": (152, 863, 101),
+    "ms2_queue": (62, 351, 46),
+    "msn_queue": (81, 426, 43),
+    "lazy_list": (121, 613, 68),
+    "harris_set": (155, 695, 86),
+    "michael_allocator": (771, 2699, 244),
+}
+
+#: Fig. 4 reference points (Cilk THE, PSO, SC): the paper needs ~1000
+#: executions per round (<= 4 rounds) to infer all three fences, and
+#: ~200,000 executions when restricted to a single round — a ~65x gap.
+PAPER_FIG4 = {
+    "multi_round_k": 1000,
+    "one_round_k": 200_000,
+    "fence_target": 3,
+}
+
+#: Fig. 5 reference shape (Cilk THE, PSO, SC): flush probability below
+#: ~0.4 inflates the fence count with redundant fences; above ~0.8 the
+#: run behaves almost sequentially consistent and misses fences.
+PAPER_FIG5 = {
+    "low_threshold": 0.4,
+    "high_threshold": 0.8,
+    "max_predicates_observed": 36,
+}

@@ -1,0 +1,113 @@
+"""Ablations — the fence-merge pass and the partial-order reduction.
+
+* **Merge pass** (paper §5.2 "Enforcing"): re-run synthesis with the
+  redundant-fence merge disabled and count how many extra fences survive.
+* **POR** (paper §5.2 "Scheduler"): the local-access partial-order
+  reduction trades scheduling points for speed; measure per-execution
+  steps and wall time with it on and off, and confirm it does not change
+  what the engine infers.
+"""
+
+import time
+
+from common import format_table, synthesize_bundle, write_result
+
+from repro.algorithms import ALGORITHMS
+from repro.memory import make_model
+from repro.sched import FlushDelayScheduler
+from repro.synth import SynthesisConfig, SynthesisEngine
+from repro.vm import VM
+
+SEED = 7
+
+
+class TestMergeAblation:
+    def run_with_merge(self, merge):
+        bundle = ALGORITHMS["michael_allocator"]
+        config = SynthesisConfig(
+            memory_model="pso", flush_prob=bundle.flush_prob["pso"],
+            executions_per_round=500, max_rounds=12, seed=SEED,
+            merge_fences=merge)
+        engine = SynthesisEngine(config)
+        return engine.synthesize(bundle.compile(),
+                                 bundle.spec("memory_safety"),
+                                 entries=bundle.entries,
+                                 operations=bundle.operations)
+
+    def test_merge_reduces_or_equals_fence_count(self, benchmark):
+        with_merge = benchmark.pedantic(
+            lambda: self.run_with_merge(True), rounds=1, iterations=1)
+        without_merge = self.run_with_merge(False)
+        text = ("Ablation — redundant-fence merge pass "
+                "(Michael's allocator, PSO, memory safety)\n\n"
+                "merge enabled : %d fences  %s\n"
+                "merge disabled: %d fences  %s\n"
+                % (with_merge.fence_count,
+                   with_merge.fence_locations(),
+                   without_merge.fence_count,
+                   without_merge.fence_locations()))
+        write_result("ablation_merge.txt", text)
+        assert with_merge.fence_count <= without_merge.fence_count
+        assert with_merge.outcome.value == "clean"
+
+
+class TestPorAblation:
+    def measure(self, por, runs=150):
+        bundle = ALGORITHMS["chase_lev"]
+        module = bundle.compile()
+        start = time.perf_counter()
+        total_steps = 0
+        for i in range(runs):
+            model = make_model("pso")
+            vm = VM(module, model, entry=bundle.entries[i % len(bundle.entries)],
+                    operations=bundle.operations)
+            FlushDelayScheduler(seed=SEED + i, flush_prob=0.2,
+                                por=por).run(vm)
+            total_steps += vm.steps
+        elapsed = time.perf_counter() - start
+        return total_steps, elapsed
+
+    def test_por_preserves_inference(self, benchmark):
+        steps_on, time_on = benchmark.pedantic(
+            lambda: self.measure(True), rounds=1, iterations=1)
+        steps_off, time_off = self.measure(False)
+
+        def infer(por, flush_prob):
+            bundle = ALGORITHMS["chase_lev"]
+            config = SynthesisConfig(
+                memory_model="pso", flush_prob=flush_prob,
+                executions_per_round=600, max_rounds=10, seed=SEED,
+                por=por)
+            engine = SynthesisEngine(config)
+            result = engine.synthesize(bundle.compile(), bundle.spec("sc"),
+                                       entries=bundle.entries,
+                                       operations=bundle.operations)
+            return {p.function for p in result.placements}
+
+        fences_on = infer(True, 0.2)
+        fences_off = infer(False, 0.2)
+        fences_off_tuned = infer(False, 0.05)
+        rows = [
+            ["POR on, p=0.2", steps_on, "%.3fs" % time_on,
+             sorted(fences_on)],
+            ["POR off, p=0.2", steps_off, "%.3fs" % time_off,
+             sorted(fences_off)],
+            ["POR off, p=0.05", "-", "-", sorted(fences_off_tuned)],
+        ]
+        text = ("Ablation — local-access partial-order reduction "
+                "(Chase-Lev, PSO)\n\n"
+                + format_table(["config", "steps/150 runs", "time",
+                                "fenced functions (SC)"], rows)
+                + "\n\nWithout POR every local instruction is a "
+                "scheduling point, so at equal flush probability buffers "
+                "drain much faster relative to program progress and "
+                "violations hide; the probability must be re-tuned "
+                "downward.\n")
+        write_result("ablation_por.txt", text)
+        # POR exposes the core inference at the paper's tuned probability;
+        # disabling it loses coverage at the same setting...
+        assert "put" in fences_on
+        assert len(fences_off) <= len(fences_on)
+        # ...and a re-tuned (much lower) probability recovers it.
+        assert "put" in fences_off_tuned
+        assert steps_on > 0 and steps_off > 0

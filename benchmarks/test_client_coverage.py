@@ -1,0 +1,66 @@
+"""Section 6.4 — client quality as coverage.
+
+"A good client should achieve good coverage; at the least, it would allow
+for all program points in each method to be visited."  This bench
+measures exactly that: the fraction of each algorithm's *operation*
+instructions its clients execute across a sampling budget, per memory
+model.
+"""
+
+from common import format_table, write_result
+
+from repro.algorithms import ALGORITHMS
+from repro.memory import make_model
+from repro.sched import FlushDelayScheduler
+from repro.vm.driver import run_execution
+
+RUNS = 200
+SEED = 3
+
+
+def measure_coverage(bundle, model_name):
+    module = bundle.compile()
+    model = make_model(model_name)
+    covered = set()
+    for i in range(RUNS):
+        entry = bundle.entries[i % len(bundle.entries)]
+        scheduler = FlushDelayScheduler(
+            seed=SEED + i, flush_prob=bundle.flush_prob[model_name])
+        run_execution(module, model, scheduler, entry=entry,
+                      operations=bundle.operations, coverage=covered)
+    # Coverage of the algorithm's operations only (clients excluded).
+    op_labels = {instr.label
+                 for op in bundle.operations
+                 for instr in module.function(op).body}
+    helper_names = set(module.functions) - set(bundle.entries) \
+        - set(bundle.operations)
+    return len(covered & op_labels), len(op_labels), sorted(helper_names)
+
+
+def test_client_coverage(benchmark):
+    rows = []
+    ratios = {}
+    for name, bundle in ALGORITHMS.items():
+        hit, total, _helpers = measure_coverage(bundle, "pso")
+        ratio = hit / total
+        ratios[name] = ratio
+        rows.append([name, "%d/%d" % (hit, total), "%.0f%%" % (100 * ratio)])
+
+    benchmark.pedantic(
+        lambda: measure_coverage(ALGORITHMS["chase_lev"], "pso"),
+        rounds=1, iterations=1)
+
+    text = ("Section 6.4 — client coverage of operation code "
+            "(%d runs per algorithm, PSO)\n\n" % RUNS
+            + format_table(["algorithm", "op instructions hit",
+                            "coverage"], rows)
+            + "\n\nThe paper's client-quality criterion: clients should "
+              "reach (nearly) all program points of each method.\n")
+    write_result("client_coverage.txt", text)
+
+    # Every algorithm's clients reach the overwhelming majority of its
+    # operation code; unreached instructions are rare corner branches
+    # (e.g. helping paths needing 3-way races).
+    for name, ratio in ratios.items():
+        assert ratio >= 0.75, (name, ratio)
+    assert sum(ratios.values()) / len(ratios) >= 0.9

@@ -1,0 +1,54 @@
+"""Extra algorithms — fences for Dekker, Peterson and the Treiber stack.
+
+Not in the paper's Table 2, but the classic fence-demanding algorithms:
+Dekker/Peterson are *the* store-load-fence clients (each thread raises a
+flag and must then really see the other's flag), and Treiber's stack is
+the minimal publication-fence client on PSO.
+"""
+
+from common import describe, format_table, write_result
+
+from repro.algorithms import DEKKER, PETERSON, TREIBER_STACK
+from repro.synth import SynthesisConfig, SynthesisEngine
+
+SEED = 7
+
+
+def synthesize(bundle, model, k=1000):
+    config = SynthesisConfig(
+        memory_model=model, flush_prob=bundle.flush_prob[model],
+        executions_per_round=k, max_rounds=14, seed=SEED,
+        max_steps=5000)
+    engine = SynthesisEngine(config)
+    return engine.synthesize(bundle.compile(),
+                             bundle.spec(bundle.supports[-1]),
+                             entries=bundle.entries,
+                             operations=bundle.operations)
+
+
+def test_extras_fences(benchmark):
+    rows = []
+    results = {}
+    for bundle in (DEKKER, PETERSON, TREIBER_STACK):
+        for model in ("tso", "pso"):
+            result = synthesize(bundle, model)
+            results[(bundle.name, model)] = result
+            rows.append([bundle.name, model, bundle.supports[-1],
+                         describe(result)])
+
+    benchmark.pedantic(lambda: synthesize(DEKKER, "tso", k=300),
+                       rounds=1, iterations=1)
+
+    text = ("Extra algorithms — inferred fences (K=1000, seed %d)\n\n"
+            % SEED + format_table(
+                ["algorithm", "model", "spec", "fences"], rows) + "\n")
+    write_result("extras_fences.txt", text)
+
+    # Dekker/Peterson: store-load fences in both entry protocols on TSO.
+    for name in ("dekker", "peterson"):
+        placements = results[(name, "tso")].placements
+        assert {p.function for p in placements} >= {"enter0", "enter1"}
+    # Treiber: fence-free on TSO, publication fence in push on PSO.
+    assert results[("treiber_stack", "tso")].fence_count == 0
+    assert any(p.function == "push"
+               for p in results[("treiber_stack", "pso")].placements)

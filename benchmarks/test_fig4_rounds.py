@@ -1,0 +1,113 @@
+"""Figure 4 — inferred fences vs executions-per-round.
+
+The paper's point: repairing *in rounds* (fix after a small batch, rerun)
+reaches a fully repaired program with orders of magnitude fewer
+executions than gathering one huge batch and repairing once, because each
+repair eliminates whole families of violating executions and exposes the
+bugs hiding behind them.
+
+Two subjects:
+
+* **Cilk THE, PSO, SC** — the paper's subject.  Our clients expose all
+  three fence families simultaneously, so both policies converge quickly
+  and the gap is small (recorded as-is).
+* **Michael's allocator, PSO, memory safety** — the effect at its
+  clearest: the allocator's deeper publication bugs only become reachable
+  after the earlier fences are inserted, so the one-round policy stalls
+  at 1-2 fences no matter how large the batch, while the round-based
+  policy reaches the full repair.
+"""
+
+from common import format_table, synthesize_bundle, write_result
+
+from repro.algorithms import ALGORITHMS
+from repro.synth import SynthesisConfig, SynthesisEngine
+
+SEED = 7
+
+
+def residual_violations(name, model, kind, program, runs=1500):
+    bundle = ALGORITHMS[name]
+    engine = SynthesisEngine(SynthesisConfig(
+        memory_model=model, flush_prob=bundle.flush_prob[model],
+        seed=SEED + 100000))
+    _runs, violations, _ = engine.test_program(
+        program, bundle.spec(kind), entries=bundle.entries,
+        operations=bundle.operations, executions=runs)
+    return violations
+
+
+def sweep(name, model, kind, multi_ks, one_ks):
+    multi_rows = []
+    for k in multi_ks:
+        result = synthesize_bundle(name, model, kind,
+                                   executions_per_round=k,
+                                   max_rounds=15, seed=SEED)
+        residual = residual_violations(name, model, kind, result.program)
+        multi_rows.append([k, result.fence_count, len(result.rounds),
+                           result.total_executions, residual])
+    one_rows = []
+    for k in one_ks:
+        result = synthesize_bundle(name, model, kind,
+                                   executions_per_round=k,
+                                   max_rounds=1, seed=SEED)
+        residual = residual_violations(name, model, kind, result.program)
+        one_rows.append([k, result.fence_count, 1, k, residual])
+    return multi_rows, one_rows
+
+
+def first_converged(rows):
+    for row in rows:
+        if row[4] == 0:
+            return row
+    return None
+
+
+def test_fig4_rounds(benchmark):
+    headers = ["K (execs/round)", "fences", "rounds", "total execs",
+               "residual violations/1500"]
+
+    the_multi, the_one = sweep("cilk_the", "pso", "sc",
+                               [25, 50, 100, 200, 400, 800],
+                               [25, 100, 400, 1600])
+    alloc_multi, alloc_one = sweep("michael_allocator", "pso",
+                                   "memory_safety",
+                                   [50, 100, 200, 400, 600],
+                                   [100, 400, 1600, 3200, 6400])
+
+    benchmark.pedantic(
+        lambda: synthesize_bundle("cilk_the", "pso", "sc",
+                                  executions_per_round=100,
+                                  max_rounds=15, seed=SEED),
+        rounds=1, iterations=1)
+
+    text = "Figure 4 — fences vs executions per round\n"
+    text += "\n== Cilk THE (PSO, SC) — the paper's subject ==\n"
+    text += "MULTI-ROUND:\n" + format_table(headers, the_multi) + "\n"
+    text += "ONE-ROUND:\n" + format_table(headers, the_one) + "\n"
+    text += "\n== Michael's allocator (PSO, memory safety) ==\n"
+    text += "MULTI-ROUND:\n" + format_table(headers, alloc_multi) + "\n"
+    text += "ONE-ROUND:\n" + format_table(headers, alloc_one) + "\n"
+
+    multi_ok = first_converged(alloc_multi)
+    one_ok = first_converged(alloc_one)
+    text += ("\nAllocator: multi-round fully repairs with %s total "
+             "executions; one-round %s.\n"
+             "Paper (THE): ~1,000/round x <=4 rounds vs ~200,000 (~65x)."
+             "\n" % (multi_ok[3] if multi_ok else "n/a",
+                     ("converges at %d" % one_ok[3]) if one_ok
+                     else "never converges in the swept budget"))
+    write_result("fig4_rounds.txt", text)
+
+    # Shape assertions (allocator): round-based repair converges...
+    assert multi_ok is not None
+    # ...and beats one-round by a large factor (the paper's 65x claim;
+    # here one-round usually does not converge at all within 6400 runs).
+    if one_ok is not None:
+        assert one_ok[3] >= 2 * multi_ok[3]
+    else:
+        biggest_one = alloc_one[-1]
+        assert biggest_one[3] >= 2 * multi_ok[3]
+
+    # THE converges under the round-based policy as well.
+    assert first_converged(the_multi) is not None

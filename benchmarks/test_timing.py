@@ -1,0 +1,46 @@
+"""Tool performance: end-to-end synthesis time per benchmark.
+
+Not a paper table (the paper reports no timing figures), but the natural
+"how long does the tool take" companion: one full PSO synthesis run per
+algorithm under its strongest supported specification, timed with
+pytest-benchmark.
+"""
+
+import pytest
+
+from common import synthesize_bundle, write_result
+
+from repro.algorithms import ALGORITHMS
+
+K = 300
+SEED = 7
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_synthesis_time(benchmark, name):
+    bundle = ALGORITHMS[name]
+    kind = bundle.supports[-1]  # strongest spec the bundle supports
+
+    def run():
+        return synthesize_bundle(name, "pso", kind,
+                                 executions_per_round=K, seed=SEED)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[name] = (kind, result)
+    assert result.total_executions >= K
+
+
+def test_zz_timing_report():
+    """Write the collected outcomes (runs after the parametrized tests)."""
+    if not _RESULTS:
+        pytest.skip("timing tests did not run")
+    lines = ["Tool performance — one PSO synthesis run per benchmark "
+             "(K=%d)\n" % K]
+    for name in sorted(_RESULTS):
+        kind, result = _RESULTS[name]
+        lines.append("%-18s %-14s %-10s %5d executions, %d fences"
+                     % (name, kind, result.outcome.value,
+                        result.total_executions, result.fence_count))
+    write_result("timing.txt", "\n".join(lines) + "\n")

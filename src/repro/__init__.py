@@ -1,0 +1,83 @@
+"""repro — a full reproduction of "Dynamic Synthesis for Relaxed Memory
+Models" (Liu, Nedev, Prisadnikov, Vechev, Yahav; PLDI 2012).
+
+The package rebuilds the DFENCE tool on a self-contained substrate:
+
+* :mod:`repro.minic` — a C-like source language with a hand-written
+  compiler front-end (replacing C + LLVM-GCC);
+* :mod:`repro.ir` — DIR, a register-based IR (replacing LLVM bytecode);
+* :mod:`repro.vm` — a multi-threaded interpreter (replacing extended lli);
+* :mod:`repro.memory` — operational TSO/PSO store-buffer semantics with
+  the paper's instrumented label buffers;
+* :mod:`repro.sched` — the flush-delaying demonic scheduler;
+* :mod:`repro.spec` — memory safety, operation-level sequential
+  consistency, and linearizability checking against executable
+  sequential specifications;
+* :mod:`repro.sat` — a from-scratch CDCL SAT solver (replacing MiniSAT);
+* :mod:`repro.synth` — the round-based dynamic fence-synthesis engine
+  (Algorithms 1 and 2);
+* :mod:`repro.algorithms` — the 13 benchmark algorithms of Table 2.
+
+Quickstart::
+
+    from repro import infer_fences
+    result = infer_fences("chase_lev", memory_model="pso", spec="sc")
+    print(result.fence_locations())
+"""
+
+from typing import Optional
+
+from .synth.engine import (
+    SynthesisConfig,
+    SynthesisEngine,
+    SynthesisResult,
+)
+
+__version__ = "1.0.0"
+
+
+def infer_fences(algorithm: str, memory_model: str = "pso",
+                 spec: str = "sc", executions_per_round: int = 300,
+                 max_rounds: int = 12, seed: int = 0,
+                 flush_prob: Optional[float] = None) -> SynthesisResult:
+    """One-call fence inference for a named benchmark algorithm.
+
+    Args:
+        algorithm: a key of :data:`repro.algorithms.ALGORITHMS`.
+        memory_model: "sc", "tso" or "pso".
+        spec: "memory_safety", "sc" (operation-level sequential
+            consistency) or "lin" (linearizability).
+        executions_per_round: the paper's K parameter.
+        max_rounds: bound on repair rounds.
+        seed: RNG seed (results are reproducible per seed).
+        flush_prob: scheduler flush probability; defaults to the
+            algorithm bundle's per-model tuning (paper: ~0.1 TSO,
+            ~0.5 PSO).
+
+    Returns:
+        The :class:`~repro.synth.engine.SynthesisResult`, whose
+        ``program`` is the repaired module and ``fence_locations()``
+        gives paper-style placement strings.
+    """
+    from .algorithms import ALGORITHMS
+
+    bundle = ALGORITHMS[algorithm]
+    if flush_prob is None:
+        flush_prob = bundle.flush_prob.get(memory_model, 0.5)
+    config = SynthesisConfig(
+        memory_model=memory_model, flush_prob=flush_prob,
+        executions_per_round=executions_per_round,
+        max_rounds=max_rounds, seed=seed)
+    engine = SynthesisEngine(config)
+    return engine.synthesize(
+        bundle.compile(), bundle.spec(spec),
+        entries=bundle.entries, operations=bundle.operations)
+
+
+__all__ = [
+    "SynthesisConfig",
+    "SynthesisEngine",
+    "SynthesisResult",
+    "__version__",
+    "infer_fences",
+]

@@ -1,0 +1,57 @@
+"""The paper's 13 concurrent benchmark algorithms (Table 2), in MiniC.
+
+``ALGORITHMS`` maps name → :class:`~repro.algorithms.base.AlgorithmBundle`
+in the order of Table 2/3.
+"""
+
+from .allocator import MICHAEL_ALLOCATOR
+from .base import AlgorithmBundle
+from .extras import DEKKER, PETERSON, TREIBER_STACK
+from .future_work import CHASE_LEV_PTR
+from .queues import MS2_QUEUE, MSN_QUEUE
+from .sets import HARRIS_SET, LAZY_LIST
+from .wsq import CHASE_LEV, CILK_THE
+from .wsq_exact import ANCHOR_WSQ, FIFO_WSQ, LIFO_WSQ
+from .wsq_idempotent import ANCHOR_IWSQ, FIFO_IWSQ, LIFO_IWSQ
+
+#: All benchmarks, keyed by name, in the paper's Table 2 order.
+ALGORITHMS = {
+    bundle.name: bundle
+    for bundle in (
+        CHASE_LEV,
+        CILK_THE,
+        FIFO_IWSQ,
+        LIFO_IWSQ,
+        ANCHOR_IWSQ,
+        FIFO_WSQ,
+        LIFO_WSQ,
+        ANCHOR_WSQ,
+        MS2_QUEUE,
+        MSN_QUEUE,
+        LAZY_LIST,
+        HARRIS_SET,
+        MICHAEL_ALLOCATOR,
+    )
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "CHASE_LEV_PTR",
+    "DEKKER",
+    "PETERSON",
+    "TREIBER_STACK",
+    "ANCHOR_IWSQ",
+    "ANCHOR_WSQ",
+    "AlgorithmBundle",
+    "CHASE_LEV",
+    "CILK_THE",
+    "FIFO_IWSQ",
+    "FIFO_WSQ",
+    "HARRIS_SET",
+    "LAZY_LIST",
+    "LIFO_IWSQ",
+    "LIFO_WSQ",
+    "MICHAEL_ALLOCATOR",
+    "MS2_QUEUE",
+    "MSN_QUEUE",
+]

@@ -1,0 +1,276 @@
+"""Michael's scalable lock-free memory allocator (PLDI'04), scaled down.
+
+The structure follows the original: per-size-class descriptors whose
+``anchor`` word packs (tag, count, avail) and is updated by CAS; an
+``Active`` descriptor pointer; superblocks carved into blocks whose first
+cell stores either the free-list link (while free) or the owning
+descriptor pointer (while allocated); a retired-descriptor free list
+(``DescAvail``) maintained by DescAlloc/DescRetire.
+
+The scaled-down deltas (documented in DESIGN.md): one size class, no
+credits on Active, a one-slot ``Partial`` cache instead of the per-heap
+partial list, and ``pagealloc`` standing in for mmap.  All four fence sites the paper reports live in retained
+code paths:
+
+* **MallocFromNewSB** — superblock/descriptor initialisation must flush
+  before the CAS publishing ``Active``;
+* **DescAlloc / DescRetire** — descriptor free-list link stores vs. the
+  publishing CAS;
+* **free** — the freed block's link store must flush before the anchor
+  CAS makes the block available (the paper finds this one only under
+  SC/linearizability: a stale link yields duplicate allocation, not an
+  immediate crash).
+
+Clients follow the paper's §6.7 workload: ``mmmfff | mfmf`` with frees
+targeting the oldest live allocation of the same thread.
+"""
+
+from .base import AlgorithmBundle
+from ..spec.sequential import AllocatorSpec
+
+_ALLOCATOR_SOURCE = """
+// Michael's lock-free allocator [21], one size class.
+const NBLOCKS = 8;      // blocks per superblock
+const BLK = 2;          // cells per block: [header][payload]
+
+struct Desc {
+  int anchor;           // (tag << 16) | (count << 8) | avail
+  int* sb;              // superblock base
+  struct Desc* next;    // retired-descriptor list link
+  int maxcount;
+};
+
+struct Desc* Active;
+struct Desc* Partial;      // one-slot cache of a reusable superblock
+struct Desc* DescAvail;
+
+struct Desc* DescAlloc() {
+  while (1) {
+    struct Desc* d = DescAvail;
+    if (d != 0) {
+      struct Desc* nxt = d->next;
+      if (cas(&DescAvail, d, nxt)) {
+        return d;
+      }
+    } else {
+      d = pagealloc(sizeof(struct Desc));
+      return d;
+    }
+  }
+  return 0;
+}
+
+void DescRetire(struct Desc* d) {
+  while (1) {
+    struct Desc* old = DescAvail;
+    d->next = old;
+    if (cas(&DescAvail, old, d)) {
+      return;
+    }
+  }
+}
+
+struct Desc* GetPartial() {
+  while (1) {
+    struct Desc* d = Partial;
+    if (d == 0) {
+      return 0;
+    }
+    if (cas(&Partial, d, 0)) {
+      return d;
+    }
+  }
+  return 0;
+}
+
+void PutPartial(struct Desc* d) {
+  cas(&Partial, 0, d);     // best effort: drop if the slot is taken
+}
+
+int* MallocFromNewSB() {
+  struct Desc* d = DescAlloc();
+  int* sb = pagealloc(NBLOCKS * BLK);
+  d->sb = sb;
+  d->maxcount = NBLOCKS;
+  int i = 1;
+  while (i < NBLOCKS) {
+    sb[i * BLK] = i + 1;             // thread the block free list
+    i = i + 1;
+  }
+  // Reserve block 0 for the caller: avail=1, count=NBLOCKS-1, tag=1.
+  d->anchor = (1 << 16) | ((NBLOCKS - 1) << 8) | 1;
+  if (cas(&Active, 0, d)) {
+    sb[0] = d;                       // block header -> descriptor
+    return sb + 1;
+  }
+  pagefree(sb);
+  DescRetire(d);
+  return 0;
+}
+
+int* malloc() {
+  while (1) {
+    struct Desc* desc = Active;
+    if (desc != 0) {
+      // MallocFromActive
+      int a = desc->anchor;
+      int avail = a & 255;
+      int count = (a >> 8) & 255;
+      int tag = a >> 16;
+      if (count == 0) {
+        cas(&Active, desc, 0);       // superblock exhausted
+        continue;
+      }
+      int* sb = desc->sb;
+      int nextavail = sb[avail * BLK];
+      if (cas(&desc->anchor, a,
+              ((tag + 1) << 16) | ((count - 1) << 8) | nextavail)) {
+        int* block = sb + avail * BLK;
+        block[0] = desc;             // block header -> descriptor
+        return block + 1;
+      }
+    } else {
+      // MallocFromPartial: reactivate a superblock that regained blocks.
+      struct Desc* d = GetPartial();
+      if (d != 0) {
+        int pa = d->anchor;
+        if (((pa >> 8) & 255) > 0) {
+          if (!cas(&Active, 0, d)) {
+            PutPartial(d);           // lost the race: stash it back
+          }
+          continue;
+        }
+        continue;                    // still full: drop it, free() returns it
+      }
+      int* p = MallocFromNewSB();
+      if (p != 0) {
+        return p;
+      }
+    }
+  }
+  return 0;
+}
+
+void free(int* p) {
+  int* block = p - 1;
+  struct Desc* desc = block[0];
+  int* sb = desc->sb;
+  int idx = (block - sb) / BLK;
+  while (1) {
+    int a = desc->anchor;
+    int count = (a >> 8) & 255;
+    int tag = a >> 16;
+    block[0] = a & 255;              // link the block onto the free list
+    if (cas(&desc->anchor, a,
+            ((tag + 1) << 16) | ((count + 1) << 8) | idx)) {
+      if (count == 0 && desc != Active) {
+        // The superblock was full and is inactive: make it reusable.
+        PutPartial(desc);
+      }
+      return;
+    }
+  }
+}
+
+int slots[8];              // pointer parking for the stress client
+
+// ---- clients: the paper's  mmmfff | mfmf  workload -------------------
+
+void worker_mfmf() {
+  int* p1 = malloc();
+  *p1 = 101;
+  free(p1);
+  int* p2 = malloc();
+  *p2 = 102;
+  free(p2);
+}
+
+void worker_mmff() {
+  int* p1 = malloc();
+  int* p2 = malloc();
+  *p1 = 201;
+  *p2 = 202;
+  free(p1);
+  free(p2);
+}
+
+int client0() {
+  int tid = fork(worker_mfmf);
+  int* a = malloc();
+  int* b = malloc();
+  int* c = malloc();
+  *a = 1;
+  *b = 2;
+  *c = 3;
+  free(a);
+  free(b);
+  free(c);
+  join(tid);
+  return 0;
+}
+
+int client1() {
+  int tid = fork(worker_mmff);
+  int* a = malloc();
+  *a = 4;
+  free(a);
+  int* b = malloc();
+  *b = 5;
+  free(b);
+  join(tid);
+  return 0;
+}
+
+int client2() {
+  int* a = malloc();
+  int tid = fork(worker_mfmf);
+  free(a);
+  int* b = malloc();
+  int* c = malloc();
+  free(c);
+  free(b);
+  join(tid);
+  return 0;
+}
+
+void worker_stress() {
+  int* a = malloc();
+  int* b = malloc();
+  *a = 301;
+  free(a);
+  int* c = malloc();
+  *b = 302;
+  *c = 303;
+  free(b);
+  free(c);
+}
+
+int client3() {
+  // Exhausts the first superblock (NBLOCKS=8) under contention, forcing
+  // deactivation, a fresh superblock, and partial-superblock reuse.
+  int tid = fork(worker_stress);
+  for (int i = 0; i < 6; i = i + 1) {
+    slots[i] = malloc();
+  }
+  for (int i = 0; i < 6; i = i + 1) {
+    free(slots[i]);
+  }
+  join(tid);
+  return 0;
+}
+"""
+
+MICHAEL_ALLOCATOR = AlgorithmBundle(
+    name="michael_allocator",
+    description="Michael's scalable lock-free memory allocator [21]: "
+                "CAS-packed anchors, Active descriptor, descriptor "
+                "retirement list",
+    source=_ALLOCATOR_SOURCE,
+    entries=("client0", "client1", "client2", "client3"),
+    operations=("malloc", "free"),
+    seq_spec=AllocatorSpec,
+    supports=("memory_safety", "sc", "lin"),
+    notes="Paper: TSO needs nothing; PSO memory safety needs fences in "
+          "MallocFromNewSB, DescAlloc and DescRetire; SC/linearizability "
+          "add one more in free.",
+)

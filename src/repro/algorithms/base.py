@@ -1,0 +1,85 @@
+"""Benchmark algorithm bundles.
+
+An :class:`AlgorithmBundle` packages everything the engine and the
+benchmark harness need to process one of the paper's 13 concurrent C
+algorithms: the MiniC source (algorithm + clients), the client entry
+points, the operation names to record, the sequential specification, and
+which specification columns of Table 3 apply.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ir.module import Module
+from ..minic.lower import compile_source
+from ..spec.sequential import SequentialSpec
+from ..spec.specifications import (
+    GarbageFreeSpec,
+    LinearizabilitySpec,
+    MemorySafetySpec,
+    SequentialConsistencySpec,
+    Specification,
+)
+
+
+class AlgorithmBundle:
+    """One benchmark algorithm plus its clients and specification."""
+
+    def __init__(self, name: str, description: str, source: str,
+                 entries: Sequence[str], operations: Sequence[str],
+                 seq_spec: Optional[Callable[[], SequentialSpec]] = None,
+                 garbage_spec: Optional[Callable[[], Specification]] = None,
+                 supports: Sequence[str] = ("memory_safety", "sc", "lin"),
+                 flush_prob: Optional[Dict[str, float]] = None,
+                 notes: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.source = source
+        self.entries = tuple(entries)
+        self.operations = tuple(operations)
+        self.seq_spec = seq_spec
+        self.garbage_spec = garbage_spec
+        self.supports = tuple(supports)
+        #: Per-model flush probability overrides (paper: ~0.1 TSO, ~0.5 PSO).
+        self.flush_prob = flush_prob or {"tso": 0.1, "pso": 0.5}
+        self.notes = notes
+        self._module: Optional[Module] = None
+
+    def compile(self) -> Module:
+        """Compile (once) and return a pristine module; callers clone."""
+        if self._module is None:
+            self._module = compile_source(self.source, self.name)
+        return self._module.clone()
+
+    def spec(self, kind: str) -> Specification:
+        """Instantiate the specification for a Table 3 column.
+
+        ``kind`` is one of ``memory_safety``, ``sc``, ``lin``,
+        ``garbage`` (memory safety is implied by all of them, as in the
+        paper).
+        """
+        if kind == "memory_safety":
+            if self.garbage_spec is not None:
+                # The paper's Memory Safety column for the iWSQs includes
+                # the "no garbage tasks returned" property.
+                return self.garbage_spec()
+            return MemorySafetySpec()
+        if kind == "garbage":
+            if self.garbage_spec is None:
+                raise ValueError("%s has no garbage spec" % self.name)
+            return self.garbage_spec()
+        if self.seq_spec is None:
+            raise ValueError("%s has no sequential spec (%s unsupported)"
+                             % (self.name, kind))
+        if kind == "sc":
+            return SequentialConsistencySpec(self.seq_spec())
+        if kind == "lin":
+            return LinearizabilitySpec(self.seq_spec())
+        if kind == "qc":
+            from ..spec.quiescent import QuiescentConsistencySpec
+            return QuiescentConsistencySpec(self.seq_spec())
+        raise ValueError("unknown spec kind %r" % kind)
+
+    def __repr__(self) -> str:
+        return "<AlgorithmBundle %s>" % self.name

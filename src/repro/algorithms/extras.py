@@ -1,0 +1,263 @@
+"""Extra algorithms beyond the paper's Table 2.
+
+Three classics that exercise the engine on different synchronisation
+idioms:
+
+* **Dekker's** and **Peterson's** mutual-exclusion algorithms — the
+  canonical store→load-fence clients (the original motivation for delay
+  set analysis): both threads write their flag and must *see* the other's
+  flag, so TSO already breaks them without fences.  Mutual exclusion is
+  expressed as an assertion (two threads in the critical section at once
+  crash), so plain memory safety drives the inference.
+* **Treiber's stack** — the minimal CAS-published data structure; on PSO
+  the node-initialisation store needs a fence before the publishing CAS,
+  like MSN/Harris.
+
+These bundles are exported separately (not part of ``ALGORITHMS``) so the
+Table-2/3 reproduction stays exactly the paper's 13.
+"""
+
+from .base import AlgorithmBundle
+from ..spec.sequential import StackSpec
+
+_DEKKER_SOURCE = """
+// Dekker's mutual exclusion (2 threads), with an in-critical-section
+// collision detector: IN counts threads inside, and the assert fires if
+// mutual exclusion is violated.
+int flag0;
+int flag1;
+int turn;
+int IN;
+
+void enter0() {
+  flag0 = 1;
+  while (flag1 == 1) {
+    if (turn != 0) {
+      flag0 = 0;
+      while (turn != 0) {}
+      flag0 = 1;
+    }
+  }
+}
+
+void exit0() {
+  turn = 1;
+  flag0 = 0;
+}
+
+void enter1() {
+  flag1 = 1;
+  while (flag0 == 1) {
+    if (turn != 1) {
+      flag1 = 0;
+      while (turn != 1) {}
+      flag1 = 1;
+    }
+  }
+}
+
+void exit1() {
+  turn = 0;
+  flag1 = 0;
+}
+
+void critical() {
+  IN = IN + 1;
+  assert(IN == 1);
+  IN = IN - 1;
+}
+
+void contender() {
+  enter1();
+  critical();
+  exit1();
+}
+
+int client0() {
+  int t = fork(contender);
+  enter0();
+  critical();
+  exit0();
+  join(t);
+  return 0;
+}
+
+int client1() {
+  int t = fork(contender);
+  for (int i = 0; i < 2; i = i + 1) {
+    enter0();
+    critical();
+    exit0();
+  }
+  join(t);
+  return 0;
+}
+"""
+
+_PETERSON_SOURCE = """
+// Peterson's mutual exclusion (2 threads) with a collision detector.
+int flag0;
+int flag1;
+int victim;
+int IN;
+
+void enter0() {
+  flag0 = 1;
+  victim = 0;
+  while (flag1 == 1 && victim == 0) {}
+}
+
+void exit0() {
+  flag0 = 0;
+}
+
+void enter1() {
+  flag1 = 1;
+  victim = 1;
+  while (flag0 == 1 && victim == 1) {}
+}
+
+void exit1() {
+  flag1 = 0;
+}
+
+void critical() {
+  IN = IN + 1;
+  assert(IN == 1);
+  IN = IN - 1;
+}
+
+void contender() {
+  enter1();
+  critical();
+  exit1();
+}
+
+int client0() {
+  int t = fork(contender);
+  enter0();
+  critical();
+  exit0();
+  join(t);
+  return 0;
+}
+
+int client1() {
+  int t = fork(contender);
+  for (int i = 0; i < 2; i = i + 1) {
+    enter0();
+    critical();
+    exit0();
+  }
+  join(t);
+  return 0;
+}
+"""
+
+_TREIBER_SOURCE = """
+// Treiber's lock-free stack.
+const EMPTY = 0 - 1;
+
+struct Node {
+  int value;
+  struct Node* next;
+};
+
+struct Node* Top;
+
+void push(int v) {
+  struct Node* node = pagealloc(sizeof(struct Node));
+  node->value = v;
+  while (1) {
+    struct Node* top = Top;
+    node->next = top;
+    if (cas(&Top, top, node)) {
+      return;
+    }
+  }
+}
+
+int pop() {
+  while (1) {
+    struct Node* top = Top;
+    if (top == 0) {
+      return EMPTY;
+    }
+    struct Node* next = top->next;
+    if (cas(&Top, top, next)) {
+      return top->value;
+    }
+  }
+  return EMPTY;
+}
+
+void worker1() { pop(); push(30); pop(); }
+void worker2() { pop(); pop(); }
+
+int client0() {
+  push(10);
+  int tid = fork(worker1);
+  push(11);
+  pop();
+  pop();
+  join(tid);
+  return 0;
+}
+
+int client1() {
+  int tid = fork(worker2);
+  push(20);
+  push(21);
+  pop();
+  join(tid);
+  return 0;
+}
+
+int client2() {
+  push(22);
+  push(23);
+  int tid = fork(worker2);
+  push(24);
+  join(tid);
+  pop();
+  return 0;
+}
+"""
+
+DEKKER = AlgorithmBundle(
+    name="dekker",
+    description="Dekker's mutual exclusion: flag/turn handshake; the "
+                "canonical store-load-fence client",
+    source=_DEKKER_SOURCE,
+    entries=("client0", "client1"),
+    operations=(),
+    supports=("memory_safety",),
+    flush_prob={"tso": 0.1, "pso": 0.15},
+    notes="Needs store-load fences after the flag stores on TSO and PSO "
+          "(plus turn/flag ordering on PSO).",
+)
+
+PETERSON = AlgorithmBundle(
+    name="peterson",
+    description="Peterson's mutual exclusion: flag/victim handshake",
+    source=_PETERSON_SOURCE,
+    entries=("client0", "client1"),
+    operations=(),
+    supports=("memory_safety",),
+    flush_prob={"tso": 0.1, "pso": 0.15},
+    notes="Needs store-load fences between the flag/victim stores and "
+          "the other thread's flag load.",
+)
+
+TREIBER_STACK = AlgorithmBundle(
+    name="treiber_stack",
+    description="Treiber's lock-free stack: CAS-published nodes",
+    source=_TREIBER_SOURCE,
+    entries=("client0", "client1", "client2"),
+    operations=("push", "pop"),
+    seq_spec=StackSpec,
+    supports=("memory_safety", "sc", "lin"),
+    flush_prob={"tso": 0.1, "pso": 0.3},
+    notes="No fences on TSO; on PSO the node value store must flush "
+          "before the publishing CAS (like MSN enqueue).",
+)

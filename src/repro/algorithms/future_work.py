@@ -1,0 +1,76 @@
+"""The paper's §6.6 future-work experiment, implemented.
+
+The paper observes that plain memory-safety checking is too weak for the
+work-stealing queues (losing or duplicating a task does not crash) and
+proposes a trick: *store pointers to freshly allocated memory in the
+queue, and have the client free each pointer right after fetching it* —
+then a duplicated task becomes a double-free / use-after-free, which the
+memory-safety checker catches directly.  The authors "leave this
+experiment as future work"; here it is.
+
+``CHASE_LEV_PTR`` is the de-fenced Chase-Lev queue with pointer-payload
+clients.  Under plain memory safety (no history checking at all), the
+F1-style duplicate-return bug now crashes as a double free, so the tool
+infers the same fences (F1 on TSO; F1+F2 on PSO) that otherwise need the
+sequential-consistency specification — confirming the paper's conjecture.
+"""
+
+from .base import AlgorithmBundle
+from .wsq import _CHASE_LEV_SOURCE
+
+_PTR_CLIENTS = """
+// ---- pointer-payload clients (the section 6.6 trick) -----------------
+
+void consume(int p) {
+  if (p != EMPTY) {
+    pagefree(p);       // a duplicated task means a double free: trap
+  }
+}
+
+void ptr_thief1() { consume(steal()); }
+void ptr_thief2() { consume(steal()); consume(steal()); }
+
+int ptr_client0() {
+  put(pagealloc(2));
+  int tid = fork(ptr_thief1);
+  consume(take());
+  join(tid);
+  return 0;
+}
+
+int ptr_client1() {
+  put(pagealloc(2));
+  put(pagealloc(2));
+  int tid = fork(ptr_thief2);
+  consume(take());
+  consume(take());
+  join(tid);
+  return 0;
+}
+
+int ptr_client2() {
+  put(pagealloc(2));
+  put(pagealloc(2));
+  put(pagealloc(2));
+  int tid = fork(ptr_thief2);
+  consume(take());
+  consume(take());
+  join(tid);
+  return 0;
+}
+"""
+
+CHASE_LEV_PTR = AlgorithmBundle(
+    name="chase_lev_ptr",
+    description="Chase-Lev WSQ with pointer payloads freed on fetch: the "
+                "paper's proposed client that turns duplicate returns "
+                "into memory-safety violations",
+    source=_CHASE_LEV_SOURCE + _PTR_CLIENTS,
+    entries=("ptr_client0", "ptr_client1", "ptr_client2"),
+    operations=("put", "take", "steal"),
+    supports=("memory_safety",),
+    flush_prob={"tso": 0.1, "pso": 0.2},
+    notes="Left as future work in the paper (section 6.6); plain memory "
+          "safety should now infer the take fence that otherwise needs "
+          "the SC specification.",
+)

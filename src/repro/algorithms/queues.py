@@ -1,0 +1,195 @@
+"""Michael-Scott queues (PODC'96): two-lock (MS2) and non-blocking (MSN).
+
+Both are linked-list queues with a dummy head node.  MS2 protects the two
+ends with separate locks; with the paper's fenced lock/unlock treatment it
+needs no additional fences on either model.  MSN is the classic lock-free
+queue (CAS link-in, CAS tail swing, CAS head advance); on PSO the
+node-initialisation stores can be overtaken by the publishing CAS, which
+is the (enqueue, E3:E4) fence of Table 3.
+"""
+
+from .base import AlgorithmBundle
+from ..spec.sequential import QueueSpec
+
+_COMMON_CLIENTS = """
+void consumer1() { dequeue(); }
+void consumer2() { dequeue(); dequeue(); }
+void producer1() { enqueue(31); }
+
+int client0() {
+  qinit();
+  enqueue(10);
+  int tid = fork(consumer1);
+  enqueue(11);
+  join(tid);
+  dequeue();
+  return 0;
+}
+
+int client1() {
+  qinit();
+  enqueue(12);
+  enqueue(13);
+  int tid = fork(consumer2);
+  dequeue();
+  join(tid);
+  return 0;
+}
+
+int client2() {
+  qinit();
+  int tid = fork(producer1);
+  enqueue(14);
+  dequeue();
+  dequeue();
+  join(tid);
+  return 0;
+}
+
+int client3() {
+  qinit();
+  enqueue(15);
+  int tid = fork(consumer1);
+  join(tid);
+  dequeue();
+  return 0;
+}
+"""
+
+_MS2_SOURCE = """
+// Michael-Scott two-lock queue [23]: head lock + tail lock, dummy node.
+const EMPTY = 0 - 1;
+
+struct Node {
+  int value;
+  struct Node* next;
+};
+
+struct Node* QHead;
+struct Node* QTail;
+int HLock;
+int TLock;
+
+void qinit() {
+  struct Node* dummy = pagealloc(sizeof(struct Node));
+  dummy->value = 0;
+  dummy->next = 0;
+  QHead = dummy;
+  QTail = dummy;
+}
+
+void enqueue(int v) {
+  struct Node* node = pagealloc(sizeof(struct Node));
+  node->value = v;
+  node->next = 0;
+  lock(&TLock);
+  QTail->next = node;
+  QTail = node;
+  unlock(&TLock);
+}
+
+int dequeue() {
+  lock(&HLock);
+  struct Node* node = QHead;
+  struct Node* nh = node->next;
+  if (nh == 0) {
+    unlock(&HLock);
+    return EMPTY;
+  }
+  int v = nh->value;
+  QHead = nh;
+  unlock(&HLock);
+  return v;
+}
+""" + _COMMON_CLIENTS
+
+_MSN_SOURCE = """
+// Michael-Scott non-blocking queue [23]: CAS-based, dummy node.
+const EMPTY = 0 - 1;
+
+struct Node {
+  int value;
+  struct Node* next;
+};
+
+struct Node* QHead;
+struct Node* QTail;
+
+void qinit() {
+  struct Node* dummy = pagealloc(sizeof(struct Node));
+  dummy->value = 0;
+  dummy->next = 0;
+  QHead = dummy;
+  QTail = dummy;
+}
+
+void enqueue(int v) {
+  struct Node* node = pagealloc(sizeof(struct Node));
+  node->value = v;
+  node->next = 0;
+  while (1) {
+    struct Node* t = QTail;
+    struct Node* next = t->next;
+    if (t == QTail) {
+      if (next == 0) {
+        if (cas(&t->next, 0, node)) {     // link the new node
+          cas(&QTail, t, node);            // swing the tail
+          return;
+        }
+      } else {
+        cas(&QTail, t, next);              // help the other enqueuer
+      }
+    }
+  }
+}
+
+int dequeue() {
+  while (1) {
+    struct Node* h = QHead;
+    struct Node* t = QTail;
+    struct Node* next = h->next;
+    if (h == QHead) {
+      if (h == t) {
+        if (next == 0) {
+          return EMPTY;
+        }
+        cas(&QTail, t, next);              // tail is lagging: help
+      } else {
+        int v = next->value;
+        if (cas(&QHead, h, next)) {
+          return v;
+        }
+      }
+    }
+  }
+  return EMPTY;
+}
+""" + _COMMON_CLIENTS
+
+MS2_QUEUE = AlgorithmBundle(
+    name="ms2_queue",
+    description="Michael-Scott two-lock queue [23]: separate head and "
+                "tail locks over a linked list with a dummy node",
+    source=_MS2_SOURCE,
+    entries=("client0", "client1", "client2", "client3"),
+    operations=("enqueue", "dequeue"),
+    seq_spec=QueueSpec,
+    supports=("memory_safety", "sc", "lin"),
+    flush_prob={"tso": 0.1, "pso": 0.2},
+    notes="Paper: no fences needed on any model/spec (locks carry their "
+          "own fences).",
+)
+
+MSN_QUEUE = AlgorithmBundle(
+    name="msn_queue",
+    description="Michael-Scott non-blocking queue [23]: CAS link-in, "
+                "tail swing, head advance",
+    source=_MSN_SOURCE,
+    entries=("client0", "client1", "client2", "client3"),
+    operations=("enqueue", "dequeue"),
+    seq_spec=QueueSpec,
+    supports=("memory_safety", "sc", "lin"),
+    flush_prob={"tso": 0.1, "pso": 0.2},
+    notes="Paper: no fences on TSO; (enqueue, E3:E4) on PSO — the node "
+          "value store must flush before the link-in CAS publishes.",
+)

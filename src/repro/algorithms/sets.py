@@ -1,0 +1,282 @@
+"""Sorted linked-list sets: LazyList (lock-based) and Harris (lock-free).
+
+* **LazyList** (Heller et al., OPODIS'05): add/remove lock the two
+  affected nodes and re-validate; contains is wait-free and never locks.
+  A node is logically deleted by its ``marked`` flag before being
+  unlinked.  Nodes are created and initialised *before* the locks are
+  taken, so the lock's fences publish them — no extra fences needed,
+  matching Table 3.
+* **Harris** (DISC'01): fully CAS-based; deletion marks the low bit of
+  the victim's ``next`` pointer, traversals strip marks and unlinking is
+  a separate CAS.  On PSO the node-initialisation stores can be overtaken
+  by the insert CAS — the paper's (insert, 8:9) fence.
+
+Sentinel nodes hold keys -1000000 / +1000000; client keys stay inside.
+"""
+
+from .base import AlgorithmBundle
+from ..spec.sequential import SetSpec
+
+_COMMON_CLIENTS = """
+void worker_a() { add(5); remove(5); }
+void worker_b() { contains(5); add(7); }
+void worker_c() { add(5); contains(3); }
+
+int client0() {
+  sinit();
+  int tid = fork(worker_a);
+  contains(5);
+  add(3);
+  join(tid);
+  return 0;
+}
+
+int client1() {
+  sinit();
+  add(5);
+  int tid = fork(worker_b);
+  remove(5);
+  contains(7);
+  join(tid);
+  return 0;
+}
+
+int client2() {
+  sinit();
+  add(1);
+  int tid = fork(worker_c);
+  add(5);
+  remove(1);
+  contains(5);
+  join(tid);
+  return 0;
+}
+
+int client3() {
+  sinit();
+  int tid = fork(worker_c);
+  contains(5);
+  contains(5);
+  join(tid);
+  return 0;
+}
+"""
+
+_LAZY_LIST_SOURCE = """
+// LazyList sorted set [13]: hand-over-hand locking with lazy deletion.
+const KEYMIN = 0 - 1000000;
+const KEYMAX = 1000000;
+
+struct Node {
+  int key;
+  struct Node* next;
+  int marked;
+  int lk;
+};
+
+struct Node* SHead;
+
+void sinit() {
+  struct Node* tailn = pagealloc(sizeof(struct Node));
+  tailn->key = KEYMAX;
+  tailn->next = 0;
+  struct Node* headn = pagealloc(sizeof(struct Node));
+  headn->key = KEYMIN;
+  headn->next = tailn;
+  SHead = headn;
+}
+
+int validate(struct Node* pred, struct Node* curr) {
+  return !pred->marked && !curr->marked && pred->next == curr;
+}
+
+int add(int key) {
+  while (1) {
+    struct Node* pred = SHead;
+    struct Node* curr = pred->next;
+    while (curr->key < key) {
+      pred = curr;
+      curr = curr->next;
+    }
+    // Create the node before locking: the lock fences publish it.
+    struct Node* node = pagealloc(sizeof(struct Node));
+    node->key = key;
+    node->next = curr;
+    node->marked = 0;
+    node->lk = 0;
+    lock(&pred->lk);
+    lock(&curr->lk);
+    if (validate(pred, curr)) {
+      if (curr->key == key) {
+        unlock(&curr->lk);
+        unlock(&pred->lk);
+        return 0;
+      }
+      pred->next = node;
+      unlock(&curr->lk);
+      unlock(&pred->lk);
+      return 1;
+    }
+    unlock(&curr->lk);
+    unlock(&pred->lk);
+  }
+  return 0;
+}
+
+int remove(int key) {
+  while (1) {
+    struct Node* pred = SHead;
+    struct Node* curr = pred->next;
+    while (curr->key < key) {
+      pred = curr;
+      curr = curr->next;
+    }
+    lock(&pred->lk);
+    lock(&curr->lk);
+    if (validate(pred, curr)) {
+      if (curr->key != key) {
+        unlock(&curr->lk);
+        unlock(&pred->lk);
+        return 0;
+      }
+      curr->marked = 1;            // logical delete
+      pred->next = curr->next;     // physical unlink
+      unlock(&curr->lk);
+      unlock(&pred->lk);
+      return 1;
+    }
+    unlock(&curr->lk);
+    unlock(&pred->lk);
+  }
+  return 0;
+}
+
+int contains(int key) {
+  struct Node* curr = SHead;
+  while (curr->key < key) {
+    curr = curr->next;
+  }
+  return curr->key == key && !curr->marked;
+}
+""" + _COMMON_CLIENTS
+
+_HARRIS_SOURCE = """
+// Harris's lock-free sorted set [8]: marked next-pointers (low bit).
+const KEYMIN = 0 - 1000000;
+const KEYMAX = 1000000;
+const UNMARK = 0 - 2;
+
+struct Node {
+  int key;
+  struct Node* next;
+};
+
+struct Node* SHead;
+
+void sinit() {
+  struct Node* tailn = pagealloc(sizeof(struct Node));
+  tailn->key = KEYMAX;
+  tailn->next = 0;
+  struct Node* headn = pagealloc(sizeof(struct Node));
+  headn->key = KEYMIN;
+  headn->next = tailn;
+  SHead = headn;
+}
+
+int add(int key) {
+  while (1) {
+    struct Node* pred = SHead;
+    struct Node* curr = pred->next & UNMARK;
+    while (1) {
+      int succ = curr->next;
+      if (succ & 1) {                 // curr is logically deleted: skip
+        curr = succ & UNMARK;
+      } else {
+        if (curr->key < key) {
+          pred = curr;
+          curr = succ & UNMARK;
+        } else {
+          break;
+        }
+      }
+    }
+    if (curr->key == key) {
+      return 0;
+    }
+    struct Node* node = pagealloc(sizeof(struct Node));
+    node->key = key;
+    node->next = curr;
+    if (cas(&pred->next, curr, node)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int remove(int key) {
+  while (1) {
+    struct Node* pred = SHead;
+    struct Node* curr = pred->next & UNMARK;
+    while (1) {
+      int succ = curr->next;
+      if (succ & 1) {
+        curr = succ & UNMARK;
+      } else {
+        if (curr->key < key) {
+          pred = curr;
+          curr = succ & UNMARK;
+        } else {
+          break;
+        }
+      }
+    }
+    if (curr->key != key) {
+      return 0;
+    }
+    int succ = curr->next;
+    if (succ & 1) {
+      continue;                        // someone else is deleting it
+    }
+    if (cas(&curr->next, succ, succ | 1)) {   // logical delete
+      cas(&pred->next, curr, succ);           // best-effort unlink
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int contains(int key) {
+  struct Node* curr = SHead;
+  while (curr->key < key) {
+    curr = curr->next & UNMARK;
+  }
+  return curr->key == key && !(curr->next & 1);
+}
+""" + _COMMON_CLIENTS
+
+LAZY_LIST = AlgorithmBundle(
+    name="lazy_list",
+    description="LazyList sorted set [13]: two-node locking with "
+                "validation, lazy deletion, wait-free contains",
+    source=_LAZY_LIST_SOURCE,
+    entries=("client0", "client1", "client2", "client3"),
+    operations=("add", "remove", "contains"),
+    seq_spec=SetSpec,
+    supports=("memory_safety", "sc", "lin"),
+    flush_prob={"tso": 0.1, "pso": 0.2},
+    notes="Paper: no fences needed on any model/spec.",
+)
+
+HARRIS_SET = AlgorithmBundle(
+    name="harris_set",
+    description="Harris's lock-free sorted set [8]: CAS insertion and "
+                "mark-then-unlink deletion",
+    source=_HARRIS_SOURCE,
+    entries=("client0", "client1", "client2", "client3"),
+    operations=("add", "remove", "contains"),
+    seq_spec=SetSpec,
+    supports=("memory_safety", "sc", "lin"),
+    flush_prob={"tso": 0.1, "pso": 0.2},
+    notes="Paper: no fences on TSO; (insert, 8:9) on PSO — node "
+          "initialisation must flush before the insert CAS publishes.",
+)

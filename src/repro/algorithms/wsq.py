@@ -1,0 +1,290 @@
+"""Chase-Lev and Cilk-THE work-stealing queues (paper §2, Table 2).
+
+Both are written in the original publications' shape:
+
+* Chase-Lev (SPAA'05): put/take at the tail, steal at the head, CAS on the
+  head in both take (last-item race) and steal.  Note: we use the original
+  restore-*after*-CAS take, not the paper's Fig. 1 simplification whose
+  retry loop admits a non-linearizable history even under SC (see
+  EXPERIMENTS.md, observation O4).
+* Cilk's THE protocol (PLDI'98): take is optimistic with a locked slow
+  path, steal is fully locked.  Famously *not* linearizable with a
+  deterministic sequential spec, while still operation-level SC — the
+  engine reproduces this as a ``cannot_fix`` outcome.
+"""
+
+from .base import AlgorithmBundle
+from ..spec.sequential import WSQDequeSpec
+
+_CHASE_LEV_SOURCE = """
+// Chase-Lev work-stealing deque (original SPAA'05 structure).
+const EMPTY = 0 - 1;
+int H;              // head index (thieves CAS this)
+int T;              // tail index (owner only)
+int items[16];
+
+void put(int task) {
+  int t = T;
+  items[t] = task;
+  T = t + 1;
+}
+
+int take() {
+  int t = T - 1;
+  T = t;
+  int h = H;
+  if (t < h) {               // deque was empty
+    T = h;
+    return EMPTY;
+  }
+  int task = items[t];
+  if (t > h) {
+    return task;             // fast path: more than one item
+  }
+  if (!cas(&H, h, h + 1)) {  // last item: race the thieves
+    task = EMPTY;
+  }
+  T = h + 1;
+  return task;
+}
+
+int steal() {
+  while (1) {
+    int h = H;
+    int t = T;
+    if (h >= t) {
+      return EMPTY;
+    }
+    int task = items[h];
+    if (cas(&H, h, h + 1)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+
+void thief1() { steal(); }
+void thief2() { steal(); steal(); }
+
+int client0() {
+  put(10);
+  int tid = fork(thief1);
+  take();
+  join(tid);
+  return 0;
+}
+
+int client1() {
+  put(11);
+  put(12);
+  int tid = fork(thief2);
+  take();
+  take();
+  join(tid);
+  return 0;
+}
+
+int client2() {
+  int tid = fork(thief1);
+  put(13);
+  take();
+  join(tid);
+  return 0;
+}
+
+int client3() {
+  put(14);
+  int tid = fork(thief1);
+  join(tid);
+  take();
+  return 0;
+}
+
+int client4() {
+  put(15);
+  put(16);
+  put(17);
+  int tid = fork(thief2);
+  take();
+  take();
+  join(tid);
+  return 0;
+}
+
+int done;
+void thief_wait() {
+  while (done == 0) {}
+  steal();
+}
+
+int client5() {
+  int tid = fork(thief_wait);
+  put(18);
+  done = 1;
+  join(tid);
+  take();
+  return 0;
+}
+
+int client6() {
+  int tid = fork(thief2);
+  put(19);
+  put(20);
+  take();
+  join(tid);
+  return 0;
+}
+"""
+
+CHASE_LEV = AlgorithmBundle(
+    name="chase_lev",
+    description="Chase-Lev work-stealing deque [7]: put/take at the tail, "
+                "steal at the head, CAS in take and steal",
+    source=_CHASE_LEV_SOURCE,
+    entries=("client0", "client1", "client2", "client3", "client4",
+             "client5", "client6"),
+    operations=("put", "take", "steal"),
+    seq_spec=WSQDequeSpec,
+    supports=("memory_safety", "sc", "lin"),
+    flush_prob={"tso": 0.1, "pso": 0.2},
+    notes="Paper expectation (Table 3): SC needs F1 on TSO, F1+F2 on PSO; "
+          "linearizability needs F1+F2 on TSO, F1+F2+F3 on PSO.",
+)
+
+_CILK_THE_SOURCE = """
+// Cilk-5 THE work-stealing protocol (core of the Cilk runtime) [12].
+const EMPTY = 0 - 1;
+int H;              // head: only advanced by thieves (under lock)
+int T;              // tail: owner only
+int L;              // the THE lock
+int items[16];
+
+void put(int task) {
+  int t = T;
+  items[t] = task;
+  T = t + 1;
+}
+
+int take() {
+  int t = T - 1;
+  T = t;                      // optimistic decrement
+  int h = H;
+  if (h > t) {                // conflict with a thief is possible
+    T = t + 1;                // restore
+    lock(&L);
+    t = T - 1;
+    T = t;
+    h = H;
+    if (h > t) {              // deque really is empty
+      T = t + 1;
+      unlock(&L);
+      return EMPTY;
+    }
+    unlock(&L);
+  }
+  return items[t];
+}
+
+int steal() {
+  lock(&L);
+  int h = H;
+  H = h + 1;                  // THE handshake: bump H before reading T
+  int t = T;
+  if (h + 1 > t) {
+    H = h;                    // lost: back off
+    unlock(&L);
+    return EMPTY;
+  }
+  int task = items[h];
+  unlock(&L);
+  return task;
+}
+
+void thief1() { steal(); }
+void thief2() { steal(); steal(); }
+
+int client0() {
+  put(10);
+  int tid = fork(thief1);
+  take();
+  join(tid);
+  return 0;
+}
+
+int client1() {
+  put(11);
+  put(12);
+  int tid = fork(thief2);
+  take();
+  take();
+  join(tid);
+  return 0;
+}
+
+int client2() {
+  int tid = fork(thief1);
+  put(13);
+  take();
+  join(tid);
+  return 0;
+}
+
+int client3() {
+  put(14);
+  int tid = fork(thief1);
+  join(tid);
+  take();
+  return 0;
+}
+
+int client4() {
+  put(15);
+  put(16);
+  put(17);
+  int tid = fork(thief2);
+  take();
+  take();
+  join(tid);
+  return 0;
+}
+
+int done;
+void thief_wait() {
+  while (done == 0) {}
+  steal();
+}
+
+int client5() {
+  int tid = fork(thief_wait);
+  put(18);
+  done = 1;
+  join(tid);
+  take();
+  return 0;
+}
+
+int client6() {
+  int tid = fork(thief2);
+  put(19);
+  put(20);
+  take();
+  join(tid);
+  return 0;
+}
+"""
+
+CILK_THE = AlgorithmBundle(
+    name="cilk_the",
+    description="Cilk's THE work-stealing protocol [12]: optimistic take "
+                "with a locked slow path, locked steal",
+    source=_CILK_THE_SOURCE,
+    entries=("client0", "client1", "client2", "client3", "client4",
+             "client5", "client6"),
+    operations=("put", "take", "steal"),
+    seq_spec=WSQDequeSpec,
+    supports=("memory_safety", "sc", "lin"),
+    flush_prob={"tso": 0.1, "pso": 0.2},
+    notes="Paper expectation: SC fences in put and take on TSO, plus steal "
+          "on PSO; NOT linearizable with a deterministic sequential spec "
+          "even under SC (engine reports cannot_fix).",
+)

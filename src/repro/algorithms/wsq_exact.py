@@ -1,0 +1,289 @@
+"""Exact (non-idempotent) LIFO / FIFO / Anchor work-stealing queues.
+
+The paper derives these from the idempotent shapes by adding CAS to the
+remaining operations (Table 2): each task is extracted exactly once, so
+the full SC/linearizability specifications apply.
+
+The headline §6.6 finding lives here: **FIFO WSQ needs no fences on TSO
+under sequential consistency** — weakening linearizability to SC yields a
+fence-free algorithm on TSO.
+"""
+
+from .base import AlgorithmBundle
+from ..spec.sequential import WSQDequeSpec, WSQFifoSpec, WSQLifoSpec
+
+_COMMON_CLIENTS = """
+void thief1() { steal(); }
+void thief2() { steal(); steal(); }
+
+int client0() {
+  put(10);
+  int tid = fork(thief1);
+  take();
+  join(tid);
+  return 0;
+}
+
+int client1() {
+  put(11);
+  put(12);
+  int tid = fork(thief2);
+  take();
+  take();
+  join(tid);
+  return 0;
+}
+
+int client2() {
+  int tid = fork(thief1);
+  put(13);
+  take();
+  join(tid);
+  return 0;
+}
+
+int client3() {
+  put(14);
+  int tid = fork(thief1);
+  join(tid);
+  take();
+  return 0;
+}
+
+int client4() {
+  put(15);
+  put(16);
+  put(17);
+  int tid = fork(thief2);
+  take();
+  take();
+  join(tid);
+  return 0;
+}
+
+int done;
+void thief_wait() {
+  while (done == 0) {}
+  steal();
+}
+
+int client5() {
+  int tid = fork(thief_wait);
+  put(18);
+  done = 1;
+  join(tid);
+  take();
+  return 0;
+}
+
+int client6() {
+  int tid = fork(thief2);
+  put(19);
+  put(20);
+  take();
+  join(tid);
+  return 0;
+}
+"""
+
+_LIFO_WSQ_SOURCE = """
+// Exact LIFO work-stealing queue: like LIFO iWSQ but every operation
+// updates the (tail, tag) anchor with CAS.
+const EMPTY = 0 - 1;
+int anchor;              // (t << 8) | g
+int tasks[16];
+
+void put(int task) {
+  while (1) {
+    int a = anchor;
+    int t = a >> 8;
+    int g = a & 255;
+    tasks[t] = task;
+    if (cas(&anchor, a, ((t + 1) << 8) | ((g + 1) & 255))) {
+      return;
+    }
+  }
+}
+
+int take() {
+  while (1) {
+    int a = anchor;
+    int t = a >> 8;
+    int g = a & 255;
+    if (t == 0) {
+      return EMPTY;
+    }
+    int task = tasks[t - 1];
+    if (cas(&anchor, a, ((t - 1) << 8) | g)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+
+int steal() {
+  while (1) {
+    int a = anchor;
+    int t = a >> 8;
+    int g = a & 255;
+    if (t == 0) {
+      return EMPTY;
+    }
+    int task = tasks[t - 1];
+    if (cas(&anchor, a, ((t - 1) << 8) | g)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+""" + _COMMON_CLIENTS
+
+_FIFO_WSQ_SOURCE = """
+// Exact FIFO work-stealing queue: like FIFO iWSQ but take uses CAS on the
+// head, making every extraction exclusive.
+const EMPTY = 0 - 1;
+const SIZE = 16;
+int head;
+int tail;
+int tasks[16];
+
+void put(int task) {
+  int t = tail;
+  tasks[t % SIZE] = task;
+  tail = t + 1;
+}
+
+int take() {
+  while (1) {
+    int h = head;
+    int t = tail;
+    if (h == t) {
+      return EMPTY;
+    }
+    int task = tasks[h % SIZE];
+    if (cas(&head, h, h + 1)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+
+int steal() {
+  while (1) {
+    int h = head;
+    int t = tail;
+    if (h == t) {
+      return EMPTY;
+    }
+    int task = tasks[h % SIZE];
+    if (cas(&head, h, h + 1)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+""" + _COMMON_CLIENTS
+
+_ANCHOR_WSQ_SOURCE = """
+// Exact double-ended work-stealing queue: Chase-Lev logic over a packed
+// (tail, tag) anchor; the owner publishes anchor updates with CAS and
+// races thieves on the head for the last item.
+const EMPTY = 0 - 1;
+int anchor;              // (t << 8) | g
+int head;
+int tasks[16];
+
+void put(int task) {
+  while (1) {
+    int a = anchor;
+    int t = a >> 8;
+    int g = a & 255;
+    tasks[t] = task;
+    if (cas(&anchor, a, ((t + 1) << 8) | ((g + 1) & 255))) {
+      return;
+    }
+  }
+}
+
+int take() {
+  int a = anchor;
+  int t = (a >> 8) - 1;
+  int g = a & 255;
+  cas(&anchor, a, (t << 8) | g);         // optimistic decrement
+  int h = head;
+  if (t < h) {                            // empty: restore
+    cas(&anchor, (t << 8) | g, (h << 8) | g);
+    return EMPTY;
+  }
+  int task = tasks[t];
+  if (t > h) {
+    return task;
+  }
+  if (!cas(&head, h, h + 1)) {            // last item: race thieves
+    task = EMPTY;
+  }
+  cas(&anchor, (t << 8) | g, ((h + 1) << 8) | g);
+  return task;
+}
+
+int steal() {
+  while (1) {
+    int h = head;
+    int a = anchor;
+    int t = a >> 8;
+    if (h >= t) {
+      return EMPTY;
+    }
+    int task = tasks[h];
+    if (cas(&head, h, h + 1)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+""" + _COMMON_CLIENTS
+
+LIFO_WSQ = AlgorithmBundle(
+    name="lifo_wsq",
+    description="Exact LIFO work-stealing queue: all operations CAS the "
+                "packed anchor",
+    source=_LIFO_WSQ_SOURCE,
+    entries=("client0", "client1", "client2", "client3", "client4",
+             "client5", "client6"),
+    operations=("put", "take", "steal"),
+    seq_spec=WSQLifoSpec,
+    supports=("memory_safety", "sc", "lin"),
+    flush_prob={"tso": 0.1, "pso": 0.3},
+    notes="Paper: no fences on TSO; (put, 3:4) on PSO for both SC and "
+          "linearizability.",
+)
+
+FIFO_WSQ = AlgorithmBundle(
+    name="fifo_wsq",
+    description="Exact FIFO work-stealing queue: take and steal CAS the "
+                "head; put is plain owner stores",
+    source=_FIFO_WSQ_SOURCE,
+    entries=("client0", "client1", "client2", "client3", "client4",
+             "client5", "client6"),
+    operations=("put", "take", "steal"),
+    seq_spec=WSQFifoSpec,
+    supports=("memory_safety", "sc", "lin"),
+    flush_prob={"tso": 0.1, "pso": 0.3},
+    notes="Paper highlight: fence-free on TSO under SC; fences in put "
+          "appear on PSO, and linearizability adds a put fence on TSO.",
+)
+
+ANCHOR_WSQ = AlgorithmBundle(
+    name="anchor_wsq",
+    description="Exact double-ended work-stealing queue: Chase-Lev logic "
+                "with a CAS-published packed anchor",
+    source=_ANCHOR_WSQ_SOURCE,
+    entries=("client0", "client1", "client2", "client3", "client4",
+             "client5", "client6"),
+    operations=("put", "take", "steal"),
+    seq_spec=WSQDequeSpec,
+    supports=("memory_safety", "sc", "lin"),
+    flush_prob={"tso": 0.1, "pso": 0.3},
+    notes="Paper: no fences on TSO; (put, 3:4) on PSO for both SC and "
+          "linearizability.",
+)

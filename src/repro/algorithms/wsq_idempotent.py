@@ -1,0 +1,251 @@
+"""Idempotent work-stealing queues (Michael, Vechev, Saraswat, PPoPP'09).
+
+Idempotent semantics: each put task is extracted *at least* once — duplicate
+extraction is allowed, which lets the owner avoid expensive synchronisation.
+Following the paper, these are checked against memory safety plus the
+"no garbage tasks returned" specification (duplicates allowed, invented
+values not); SC/linearizability need idempotent sequential specs and are
+out of scope, as in the paper.
+
+All three shapes are implemented:
+
+* **LIFO**: put/take/steal all at the top; the (tail, tag) pair is packed
+  into one ``anchor`` word, updated by plain stores by the owner and CAS
+  by thieves.
+* **FIFO**: put at the tail, take/steal at the head; the owner's take
+  advances head with a plain store.
+* **Anchor** (double-ended): put/take at the tail via the packed anchor,
+  steal at the head via CAS.
+"""
+
+from .base import AlgorithmBundle
+from ..spec.specifications import GarbageFreeSpec
+
+
+def _garbage_spec():
+    # Idempotent queues may return a task several times, but never a value
+    # that was not put.
+    return GarbageFreeSpec(multiplicity=None)
+
+
+_COMMON_CLIENTS = """
+void thief1() { steal(); }
+void thief2() { steal(); steal(); }
+
+int client0() {
+  put(10);
+  int tid = fork(thief1);
+  take();
+  join(tid);
+  return 0;
+}
+
+int client1() {
+  put(11);
+  put(12);
+  int tid = fork(thief2);
+  take();
+  take();
+  join(tid);
+  return 0;
+}
+
+int client2() {
+  int tid = fork(thief1);
+  put(13);
+  take();
+  join(tid);
+  return 0;
+}
+
+int client3() {
+  put(14);
+  put(15);
+  int tid = fork(thief2);
+  put(16);
+  take();
+  join(tid);
+  return 0;
+}
+
+int client4() {
+  int tid = fork(thief2);
+  put(17);
+  put(18);
+  take();
+  join(tid);
+  return 0;
+}
+"""
+
+_LIFO_SOURCE = """
+// Idempotent LIFO work-stealing queue: anchor packs (tail, tag).
+const EMPTY = 0 - 1;
+int anchor;              // (t << 8) | g
+int tasks[16];
+
+void put(int task) {
+  int a = anchor;
+  int t = a >> 8;
+  int g = a & 255;
+  tasks[t] = task;
+  anchor = ((t + 1) << 8) | ((g + 1) & 255);
+}
+
+int take() {
+  int a = anchor;
+  int t = a >> 8;
+  int g = a & 255;
+  if (t == 0) {
+    return EMPTY;
+  }
+  int task = tasks[t - 1];
+  anchor = ((t - 1) << 8) | g;
+  return task;
+}
+
+int steal() {
+  while (1) {
+    int a = anchor;
+    int t = a >> 8;
+    int g = a & 255;
+    if (t == 0) {
+      return EMPTY;
+    }
+    int task = tasks[t - 1];
+    if (cas(&anchor, a, ((t - 1) << 8) | g)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+""" + _COMMON_CLIENTS
+
+_FIFO_SOURCE = """
+// Idempotent FIFO work-stealing queue: owner puts at the tail and takes
+// at the head with plain stores; thieves CAS the head.
+const EMPTY = 0 - 1;
+const SIZE = 16;
+int head;
+int tail;
+int tasks[16];
+
+void put(int task) {
+  int t = tail;
+  tasks[t % SIZE] = task;
+  tail = t + 1;
+}
+
+int take() {
+  int h = head;
+  int t = tail;
+  if (h == t) {
+    return EMPTY;
+  }
+  int task = tasks[h % SIZE];
+  head = h + 1;
+  return task;
+}
+
+int steal() {
+  while (1) {
+    int h = head;
+    int t = tail;
+    if (h == t) {
+      return EMPTY;
+    }
+    int task = tasks[h % SIZE];
+    if (cas(&head, h, h + 1)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+""" + _COMMON_CLIENTS
+
+_ANCHOR_SOURCE = """
+// Idempotent double-ended ("anchor") work-stealing queue: put/take at the
+// tail through the packed anchor, steal at the head through CAS.
+const EMPTY = 0 - 1;
+int anchor;              // (t << 8) | g
+int head;
+int tasks[16];
+
+void put(int task) {
+  int a = anchor;
+  int t = a >> 8;
+  int g = a & 255;
+  tasks[t] = task;
+  anchor = ((t + 1) << 8) | ((g + 1) & 255);
+}
+
+int take() {
+  int a = anchor;
+  int t = a >> 8;
+  int g = a & 255;
+  int h = head;
+  if (t <= h) {
+    return EMPTY;
+  }
+  int task = tasks[t - 1];
+  anchor = ((t - 1) << 8) | g;
+  return task;
+}
+
+int steal() {
+  while (1) {
+    int a = anchor;
+    int t = a >> 8;
+    int h = head;
+    if (h >= t) {
+      return EMPTY;
+    }
+    int task = tasks[h];
+    if (cas(&head, h, h + 1)) {
+      return task;
+    }
+  }
+  return EMPTY;
+}
+""" + _COMMON_CLIENTS
+
+LIFO_IWSQ = AlgorithmBundle(
+    name="lifo_iwsq",
+    description="Idempotent LIFO work-stealing queue [24]: packed "
+                "(tail, tag) anchor, CAS only in steal",
+    source=_LIFO_SOURCE,
+    entries=("client0", "client1", "client2", "client3", "client4"),
+    operations=("put", "take", "steal"),
+    garbage_spec=_garbage_spec,
+    supports=("memory_safety",),
+    flush_prob={"tso": 0.1, "pso": 0.3},
+    notes="Paper: PSO needs (put, 3:4) and an inter-operation store-store "
+          "fence at the end of take; TSO needs none.",
+)
+
+FIFO_IWSQ = AlgorithmBundle(
+    name="fifo_iwsq",
+    description="Idempotent FIFO work-stealing queue [24]: plain-store "
+                "owner operations, CAS only in steal",
+    source=_FIFO_SOURCE,
+    entries=("client0", "client1", "client2", "client3", "client4"),
+    operations=("put", "take", "steal"),
+    garbage_spec=_garbage_spec,
+    supports=("memory_safety",),
+    flush_prob={"tso": 0.1, "pso": 0.3},
+    notes="Paper: PSO needs (put, 4:5), end-of-put and end-of-take "
+          "fences; TSO needs none.",
+)
+
+ANCHOR_IWSQ = AlgorithmBundle(
+    name="anchor_iwsq",
+    description="Idempotent double-ended work-stealing queue [24]: anchor "
+                "at the tail, CAS only in steal",
+    source=_ANCHOR_SOURCE,
+    entries=("client0", "client1", "client2", "client3", "client4"),
+    operations=("put", "take", "steal"),
+    garbage_spec=_garbage_spec,
+    supports=("memory_safety",),
+    flush_prob={"tso": 0.1, "pso": 0.3},
+    notes="Paper: PSO needs (put, 3:4) and an end-of-take fence; TSO none.",
+)

@@ -1,0 +1,190 @@
+"""Command-line interface — the reproduction's ``dfence`` front door.
+
+Two modes:
+
+* named benchmarks::
+
+      python -m repro --algorithm chase_lev --model pso --spec sc
+
+* user MiniC files (with an explicit sequential spec for history
+  checking, or plain memory safety)::
+
+      python -m repro myqueue.c --model pso --spec memory_safety \\
+          --entries client0,client1
+
+Prints a round-by-round summary, the synthesized fence placements, and —
+for MiniC inputs — the source annotated with the inserted fences.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .algorithms import ALGORITHMS
+from .minic import compile_source
+from .spec import (
+    LinearizabilitySpec,
+    MemorySafetySpec,
+    QueueSpec,
+    SequentialConsistencySpec,
+    SetSpec,
+    StackSpec,
+    WSQDequeSpec,
+)
+from .synth import (
+    SynthesisConfig,
+    SynthesisEngine,
+    annotate_source,
+    summarize,
+)
+
+#: Named sequential specs available from the command line.
+SEQ_SPECS = {
+    "queue": QueueSpec,
+    "stack": StackSpec,
+    "set": SetSpec,
+    "wsq": WSQDequeSpec,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic fence synthesis for relaxed memory models "
+                    "(PLDI 2012 reproduction)")
+    parser.add_argument("source", nargs="?",
+                        help="MiniC source file (omit when using "
+                             "--algorithm)")
+    parser.add_argument("--algorithm", "-a", choices=sorted(ALGORITHMS),
+                        help="run a built-in Table-2 benchmark")
+    parser.add_argument("--model", "-m", default="pso",
+                        choices=["sc", "tso", "pso"],
+                        help="memory model (default: pso)")
+    parser.add_argument("--spec", "-s", default="memory_safety",
+                        help="memory_safety, sc or lin (default: "
+                             "memory_safety)")
+    parser.add_argument("--seq-spec", choices=sorted(SEQ_SPECS),
+                        help="sequential spec for sc/lin checking of a "
+                             "MiniC file (queue/stack/set/wsq)")
+    parser.add_argument("--entries", default="main",
+                        help="comma-separated client entry functions "
+                             "(default: main)")
+    parser.add_argument("--operations", default="",
+                        help="comma-separated operation names to record")
+    parser.add_argument("--executions", "-k", type=int, default=400,
+                        help="executions per round (default: 400)")
+    parser.add_argument("--rounds", type=int, default=12,
+                        help="maximum repair rounds (default: 12)")
+    parser.add_argument("--flush-prob", type=float, default=None,
+                        help="scheduler flush probability (default: "
+                             "algorithm tuning, or 0.1/0.3 by model)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--annotate", action="store_true",
+                        help="print the source annotated with fences")
+    parser.add_argument("--check-only", action="store_true",
+                        help="only report violations; do not repair")
+    parser.add_argument("--explore", action="store_true",
+                        help="exhaustively enumerate schedules of a MiniC "
+                             "file (or a litmus catalog name) and print "
+                             "the exact outcome set per memory model")
+    return parser
+
+
+def _spec_for(args, bundle) -> object:
+    if bundle is not None:
+        return bundle.spec(args.spec)
+    if args.spec == "memory_safety":
+        return MemorySafetySpec()
+    if args.seq_spec is None:
+        raise SystemExit("--spec %s needs --seq-spec for a MiniC file"
+                         % args.spec)
+    seq = SEQ_SPECS[args.seq_spec]()
+    if args.spec == "sc":
+        return SequentialConsistencySpec(seq)
+    if args.spec == "lin":
+        return LinearizabilitySpec(seq)
+    raise SystemExit("unknown spec %r (memory_safety/sc/lin)" % args.spec)
+
+
+def _explore(args) -> int:
+    from .litmus import LITMUS_TESTS
+    from .sched.exhaustive import explore
+
+    if args.source in LITMUS_TESTS:
+        module = LITMUS_TESTS[args.source].compile()
+        print("litmus %r: %s" % (args.source,
+                                 LITMUS_TESTS[args.source].description))
+    elif args.source:
+        with open(args.source) as handle:
+            module = compile_source(handle.read(), args.source)
+    else:
+        raise SystemExit("--explore needs a MiniC file or a litmus name "
+                         "(%s)" % ", ".join(sorted(LITMUS_TESTS)))
+
+    def thread_results(vm):
+        return tuple(vm.threads[tid].result for tid in sorted(vm.threads))
+
+    for model in ("sc", "tso", "pso"):
+        result = explore(module, model, outcome_fn=thread_results)
+        status = "exact" if result.complete else "budget hit"
+        outcomes = ", ".join(str(o) for o in sorted(result.outcomes))
+        print("%-4s (%6d paths, %s): %s"
+              % (model.upper(), result.paths, status, outcomes))
+        for violation in sorted(result.violations):
+            print("     violation: %s" % violation[:100])
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.explore:
+        return _explore(args)
+    if (args.source is None) == (args.algorithm is None):
+        raise SystemExit("give exactly one of a MiniC file or --algorithm")
+
+    if args.algorithm:
+        bundle = ALGORITHMS[args.algorithm]
+        module = bundle.compile()
+        entries = bundle.entries
+        operations = bundle.operations
+        flush_prob = args.flush_prob
+        if flush_prob is None:
+            flush_prob = bundle.flush_prob.get(args.model, 0.3)
+    else:
+        bundle = None
+        with open(args.source) as handle:
+            module = compile_source(handle.read(), args.source)
+        entries = tuple(e for e in args.entries.split(",") if e)
+        operations = tuple(o for o in args.operations.split(",") if o)
+        flush_prob = args.flush_prob
+        if flush_prob is None:
+            flush_prob = 0.1 if args.model == "tso" else 0.3
+
+    spec = _spec_for(args, bundle)
+    config = SynthesisConfig(
+        memory_model=args.model, flush_prob=flush_prob,
+        executions_per_round=args.executions, max_rounds=args.rounds,
+        seed=args.seed)
+    engine = SynthesisEngine(config)
+
+    if args.check_only:
+        runs, violations, example = engine.test_program(
+            module, spec, entries=entries, operations=operations)
+        print("%d violations in %d executions" % (violations, runs))
+        if example:
+            print("e.g. %s" % example)
+        return 1 if violations else 0
+
+    result = engine.synthesize(module, spec, entries=entries,
+                               operations=operations)
+    print(summarize(result))
+    if args.annotate and result.program.source:
+        print()
+        print(annotate_source(result))
+    return 0 if result.outcome.value == "clean" else 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""DIR — the register-based intermediate representation of the reproduction.
+
+This package plays the role LLVM bytecode plays in the paper: MiniC
+programs are lowered to DIR, the VM interprets DIR under a memory model,
+and the synthesis engine inserts fences into DIR between rounds.
+"""
+
+from .builder import BlockLabel, IRBuilder
+from .cfg import CFG, BasicBlock
+from .function import Function
+from .instructions import (
+    AddrOf,
+    Assert,
+    BinOp,
+    Br,
+    Call,
+    Cas,
+    Cbr,
+    ConstInstr,
+    Fence,
+    FenceKind,
+    Fork,
+    Instr,
+    Join,
+    Load,
+    Mov,
+    Nop,
+    PageAlloc,
+    PageFree,
+    Ret,
+    SelfId,
+    Store,
+    UnOp,
+)
+from .module import GlobalVar, Module
+from .operands import Const, Reg, Sym
+from .printer import format_function, format_module
+from .verifier import VerificationError, verify_module
+
+__all__ = [
+    "AddrOf", "Assert", "BasicBlock", "BinOp", "BlockLabel", "Br", "CFG",
+    "Call", "Cas", "Cbr", "Const", "ConstInstr", "Fence", "FenceKind",
+    "Fork", "Function", "GlobalVar", "IRBuilder", "Instr", "Join", "Load",
+    "Module", "Mov", "Nop", "PageAlloc", "PageFree", "Reg", "Ret", "SelfId",
+    "Store", "Sym", "UnOp", "VerificationError", "format_function",
+    "format_module", "verify_module",
+]

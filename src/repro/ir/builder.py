@@ -1,0 +1,173 @@
+"""Convenience builder for constructing DIR functions.
+
+The builder supports forward branch targets through :class:`BlockLabel`
+handles: create a handle with :meth:`IRBuilder.block_label`, emit branches
+to it, and bind it with :meth:`IRBuilder.bind` once the target position is
+reached.  :meth:`IRBuilder.finish` patches all branch instructions to the
+concrete instruction labels and appends a trailing return if the function
+falls off its end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from . import instructions as ins
+from .function import Function
+from .instructions import FenceKind, Instr
+from .module import Module
+from .operands import Const, Reg, Sym
+
+
+class BlockLabel:
+    """A forward-referenceable branch target."""
+
+    __slots__ = ("name", "position")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.position: Optional[int] = None  # index into builder body
+
+    def __repr__(self) -> str:
+        return "<BlockLabel %s @%r>" % (self.name or "?", self.position)
+
+
+Target = Union[BlockLabel, int]
+
+
+class IRBuilder:
+    """Builds one :class:`Function` inside a :class:`Module`."""
+
+    def __init__(self, module: Module, name: str, params=()) -> None:
+        self.module = module
+        self.fn = Function(name, params)
+        self._pending: List[Instr] = []
+        self._labels: List[BlockLabel] = []
+        self._tmp_counter = 0
+        self.cur_line: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Registers and labels
+
+    def tmp(self) -> Reg:
+        """Allocate a fresh temporary register."""
+        self._tmp_counter += 1
+        return Reg(".t%d" % self._tmp_counter)
+
+    def block_label(self, name: str = "") -> BlockLabel:
+        label = BlockLabel(name)
+        self._labels.append(label)
+        return label
+
+    def bind(self, label: BlockLabel) -> None:
+        """Bind *label* to the next instruction to be emitted."""
+        if label.position is not None:
+            raise ValueError("label %r bound twice" % (label,))
+        label.position = len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Emission
+
+    def _emit(self, instr: Instr) -> Instr:
+        self._pending.append(instr)
+        return instr
+
+    def _new(self) -> int:
+        return self.module.new_label()
+
+    def const(self, dst: Reg, value: int) -> Instr:
+        return self._emit(ins.ConstInstr(self._new(), dst, value, self.cur_line))
+
+    def mov(self, dst: Reg, src) -> Instr:
+        return self._emit(ins.Mov(self._new(), dst, src, self.cur_line))
+
+    def binop(self, dst: Reg, op: str, a, b) -> Instr:
+        return self._emit(ins.BinOp(self._new(), dst, op, a, b, self.cur_line))
+
+    def unop(self, dst: Reg, op: str, a) -> Instr:
+        return self._emit(ins.UnOp(self._new(), dst, op, a, self.cur_line))
+
+    def load(self, dst: Reg, addr) -> Instr:
+        return self._emit(ins.Load(self._new(), dst, addr, self.cur_line))
+
+    def store(self, src, addr) -> Instr:
+        return self._emit(ins.Store(self._new(), src, addr, self.cur_line))
+
+    def cas(self, dst: Reg, addr, expected, new) -> Instr:
+        return self._emit(
+            ins.Cas(self._new(), dst, addr, expected, new, self.cur_line))
+
+    def fence(self, kind: FenceKind = FenceKind.FULL,
+              synthesized: bool = False) -> Instr:
+        return self._emit(
+            ins.Fence(self._new(), kind, self.cur_line, synthesized))
+
+    def br(self, target: Target) -> Instr:
+        return self._emit(ins.Br(self._new(), target, self.cur_line))
+
+    def cbr(self, cond, then_target: Target, else_target: Target) -> Instr:
+        return self._emit(
+            ins.Cbr(self._new(), cond, then_target, else_target, self.cur_line))
+
+    def call(self, dst: Optional[Reg], fn: str, args=()) -> Instr:
+        return self._emit(ins.Call(self._new(), dst, fn, list(args), self.cur_line))
+
+    def ret(self, value=None) -> Instr:
+        return self._emit(ins.Ret(self._new(), value, self.cur_line))
+
+    def fork(self, dst: Optional[Reg], fn: str, args=()) -> Instr:
+        return self._emit(ins.Fork(self._new(), dst, fn, list(args), self.cur_line))
+
+    def join(self, tid) -> Instr:
+        return self._emit(ins.Join(self._new(), tid, self.cur_line))
+
+    def self_id(self, dst: Reg) -> Instr:
+        return self._emit(ins.SelfId(self._new(), dst, self.cur_line))
+
+    def pagealloc(self, dst: Reg, size) -> Instr:
+        return self._emit(ins.PageAlloc(self._new(), dst, size, self.cur_line))
+
+    def pagefree(self, addr) -> Instr:
+        return self._emit(ins.PageFree(self._new(), addr, self.cur_line))
+
+    def addrof(self, dst: Reg, sym: Sym) -> Instr:
+        return self._emit(ins.AddrOf(self._new(), dst, sym, self.cur_line))
+
+    def assert_(self, cond, message: str = "") -> Instr:
+        return self._emit(ins.Assert(self._new(), cond, message, self.cur_line))
+
+    def nop(self) -> Instr:
+        return self._emit(ins.Nop(self._new(), self.cur_line))
+
+    # ------------------------------------------------------------------
+    # Finalisation
+
+    def finish(self) -> Function:
+        """Patch branch targets, append an implicit return, and register the
+        function with the module."""
+        # A label bound past the last instruction needs an anchor.
+        max_bound = max((l.position for l in self._labels
+                         if l.position is not None), default=-1)
+        if max_bound >= len(self._pending):
+            self._pending.append(ins.Nop(self._new(), self.cur_line))
+        if not self._pending or not self._pending[-1].is_terminator():
+            self._pending.append(ins.Ret(self._new(), Const(0), self.cur_line))
+
+        def resolve(target: Target) -> int:
+            if isinstance(target, BlockLabel):
+                if target.position is None:
+                    raise ValueError("unbound block label %r" % (target,))
+                return self._pending[target.position].label
+            return target
+
+        for instr in self._pending:
+            if isinstance(instr, ins.Br):
+                instr.target = resolve(instr.target)
+            elif isinstance(instr, ins.Cbr):
+                instr.then_target = resolve(instr.then_target)
+                instr.else_target = resolve(instr.else_target)
+
+        self.fn.body = self._pending
+        self.fn.invalidate_index()
+        self.module.add_function(self.fn)
+        return self.fn

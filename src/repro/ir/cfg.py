@@ -1,0 +1,84 @@
+"""Control-flow graph construction over flat DIR instruction lists.
+
+Used by the redundant-fence merge pass (and available for general
+analyses).  Blocks are maximal straight-line instruction runs; edges follow
+branch targets and fallthrough.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .function import Function
+from .instructions import Br, Cbr, Ret
+
+
+class BasicBlock:
+    """A maximal straight-line run of instructions."""
+
+    def __init__(self, index: int, start: int, end: int) -> None:
+        self.index = index
+        self.start = start          # index of first instruction in fn.body
+        self.end = end              # index one past the last instruction
+        self.successors: List[int] = []
+        self.predecessors: List[int] = []
+
+    def __repr__(self) -> str:
+        return "<BB%d [%d:%d] -> %r>" % (
+            self.index, self.start, self.end, self.successors)
+
+
+class CFG:
+    """Control-flow graph of one function."""
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.blocks: List[BasicBlock] = []
+        self.block_of_instr: Dict[int, int] = {}  # body index -> block index
+        self._build()
+
+    def _build(self) -> None:
+        body = self.fn.body
+        if not body:
+            return
+        index = self.fn.label_index
+
+        leaders = {0}
+        for i, instr in enumerate(body):
+            for target in instr.jump_targets():
+                leaders.add(index[target])
+            if instr.is_terminator() and i + 1 < len(body):
+                leaders.add(i + 1)
+        ordered = sorted(leaders)
+
+        for bi, start in enumerate(ordered):
+            end = ordered[bi + 1] if bi + 1 < len(ordered) else len(body)
+            block = BasicBlock(bi, start, end)
+            self.blocks.append(block)
+            for pos in range(start, end):
+                self.block_of_instr[pos] = bi
+
+        for block in self.blocks:
+            last = body[block.end - 1]
+            if isinstance(last, Ret):
+                continue
+            if isinstance(last, Br):
+                block.successors.append(self.block_of_instr[index[last.target]])
+            elif isinstance(last, Cbr):
+                block.successors.append(
+                    self.block_of_instr[index[last.then_target]])
+                succ = self.block_of_instr[index[last.else_target]]
+                if succ not in block.successors:
+                    block.successors.append(succ)
+            elif block.end < len(body):
+                block.successors.append(self.block_of_instr[block.end])
+
+        for block in self.blocks:
+            for succ in block.successors:
+                self.blocks[succ].predecessors.append(block.index)
+
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def __len__(self) -> int:
+        return len(self.blocks)

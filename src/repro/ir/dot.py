@@ -1,0 +1,65 @@
+"""Graphviz DOT export of DIR control-flow graphs.
+
+Developer tooling: render a function's CFG (``cfg_to_dot``) or a whole
+module (``module_to_dot``) for inspection.  Synthesized fences are
+highlighted, making it easy to see where the engine placed them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cfg import CFG
+from .function import Function
+from .instructions import Fence
+from .module import Module
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(fn: Function, graph_name: str = None) -> str:
+    """Render one function's CFG as a DOT digraph."""
+    cfg = CFG(fn)
+    name = graph_name or fn.name
+    lines: List[str] = ["digraph \"%s\" {" % _escape(name)]
+    lines.append('  node [shape=box, fontname="monospace"];')
+    for block in cfg.blocks:
+        rows = []
+        highlight = False
+        for pos in range(block.start, block.end):
+            instr = fn.body[pos]
+            rows.append(_escape(repr(instr)))
+            if isinstance(instr, Fence) and instr.synthesized:
+                highlight = True
+        label = "\\l".join(rows) + "\\l"
+        style = ' style=filled fillcolor="#ffe0b0"' if highlight else ""
+        lines.append('  bb%d [label="%s"%s];' % (block.index, label, style))
+    for block in cfg.blocks:
+        for succ in block.successors:
+            lines.append("  bb%d -> bb%d;" % (block.index, succ))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def module_to_dot(module: Module) -> str:
+    """Render every function of a module as DOT clusters in one digraph."""
+    lines: List[str] = ["digraph \"%s\" {" % _escape(module.name)]
+    lines.append('  node [shape=box, fontname="monospace"];')
+    for index, fn in enumerate(module.functions.values()):
+        cfg = CFG(fn)
+        lines.append("  subgraph cluster_%d {" % index)
+        lines.append('    label="%s";' % _escape(fn.name))
+        for block in cfg.blocks:
+            rows = [_escape(repr(fn.body[pos]))
+                    for pos in range(block.start, block.end)]
+            lines.append('    f%d_bb%d [label="%s\\l"];'
+                         % (index, block.index, "\\l".join(rows)))
+        for block in cfg.blocks:
+            for succ in block.successors:
+                lines.append("    f%d_bb%d -> f%d_bb%d;"
+                             % (index, block.index, index, succ))
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""DIR functions: flat labelled instruction lists.
+
+A :class:`Function` owns an ordered list of instructions.  Control flow is
+expressed by branches that target instruction *labels* (not indices), so the
+body can be mutated — fences inserted — without invalidating jump targets.
+The label→index map is rebuilt lazily after mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .instructions import Instr
+
+
+class Function:
+    """A DIR function.
+
+    Attributes:
+        name: function name, unique within the module.
+        params: parameter register names, bound on call.
+        body: ordered instruction list.
+    """
+
+    def __init__(self, name: str, params: Iterable[str] = ()) -> None:
+        self.name = name
+        self.params: List[str] = list(params)
+        self.body: List[Instr] = []
+        self._index: Optional[Dict[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # Indexing
+
+    def _build_index(self) -> Dict[int, int]:
+        index = {}
+        for i, instr in enumerate(self.body):
+            if instr.label in index:
+                raise ValueError(
+                    "duplicate label L%d in function %s" % (instr.label, self.name))
+            index[instr.label] = i
+        return index
+
+    @property
+    def label_index(self) -> Dict[int, int]:
+        """Map from instruction label to its position in ``body``."""
+        if self._index is None:
+            self._index = self._build_index()
+        return self._index
+
+    def invalidate_index(self) -> None:
+        """Force the label→index map to be rebuilt (call after mutation)."""
+        self._index = None
+
+    def index_of(self, label: int) -> int:
+        """Position of the instruction with the given label."""
+        return self.label_index[label]
+
+    def instr_at(self, label: int) -> Instr:
+        """The instruction with the given label."""
+        return self.body[self.label_index[label]]
+
+    def has_label(self, label: int) -> bool:
+        return label in self.label_index
+
+    # ------------------------------------------------------------------
+    # Mutation
+
+    def append(self, instr: Instr) -> Instr:
+        self.body.append(instr)
+        self._index = None
+        return instr
+
+    def insert_after(self, label: int, instr: Instr) -> Instr:
+        """Insert *instr* immediately after the instruction labelled *label*.
+
+        This is the primitive used by fence enforcement (Algorithm 2:
+        "insert a fence statement right after label l").
+        """
+        pos = self.index_of(label)
+        self.body.insert(pos + 1, instr)
+        self._index = None
+        return instr
+
+    def remove(self, label: int) -> Instr:
+        """Remove and return the instruction with the given label.
+
+        The caller is responsible for ensuring no branch targets it.
+        """
+        pos = self.index_of(label)
+        instr = self.body.pop(pos)
+        self._index = None
+        return instr
+
+    # ------------------------------------------------------------------
+
+    def labels(self) -> List[int]:
+        return [instr.label for instr in self.body]
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+    def __iter__(self):
+        return iter(self.body)
+
+    def __repr__(self) -> str:
+        return "<Function %s(%s), %d instrs>" % (
+            self.name, ", ".join(self.params), len(self.body))

@@ -1,0 +1,455 @@
+"""DIR instruction set.
+
+Every instruction carries a globally unique integer ``label`` (the paper's
+program label ``l``) and an optional ``src_line`` tying it back to the MiniC
+source that produced it.  Labels are stable across program mutation: fence
+insertion creates instructions with fresh labels and never renumbers
+existing ones, so ordering predicates ``[l < k]`` discovered in one round
+remain meaningful in later rounds.
+
+The instruction set mirrors Table 1 of the paper (load, store, cas, fence,
+call, return, fork, join, self) plus the register-level arithmetic and
+control flow needed to express whole algorithms, and two allocation
+intrinsics (``pagealloc``/``pagefree``) standing in for ``mmap``/``munmap``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence
+
+from .operands import Const, Reg, Sym
+
+
+class FenceKind(enum.Enum):
+    """Memory fence flavours.
+
+    * ``FULL`` — orders everything (drains all buffers of the thread).
+    * ``ST_ST`` — store-store fence.  A no-op under TSO (which never
+      reorders store-store) but drains buffers under PSO.
+    * ``ST_LD`` — store-load fence.  Drains under both TSO and PSO.
+    """
+
+    FULL = "full"
+    ST_ST = "st_st"
+    ST_LD = "st_ld"
+
+    def subsumes(self, other: "FenceKind") -> bool:
+        """Return True if this fence also provides *other*'s ordering."""
+        return self is FenceKind.FULL or self is other
+
+
+class Instr:
+    """Base class for all DIR instructions."""
+
+    __slots__ = ("label", "src_line")
+
+    #: Mnemonic, overridden per subclass.
+    op: str = "?"
+
+    def __init__(self, label: int, src_line: Optional[int] = None) -> None:
+        self.label = label
+        self.src_line = src_line
+
+    # -- classification helpers used by passes, the VM and the scheduler --
+
+    def is_shared_access(self) -> bool:
+        """True for instructions that touch shared memory (load/store/cas)."""
+        return False
+
+    def is_store(self) -> bool:
+        return False
+
+    def is_load(self) -> bool:
+        return False
+
+    def is_terminator(self) -> bool:
+        """True for instructions that end a basic block (br/cbr/ret)."""
+        return False
+
+    def jump_targets(self) -> Sequence[int]:
+        """Labels of instructions this one may jump to (empty if fallthrough)."""
+        return ()
+
+    def operands_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:
+        body = self.operands_repr()
+        text = "L%d: %s" % (self.label, self.op)
+        if body:
+            text += " " + body
+        return text
+
+
+class ConstInstr(Instr):
+    """``dst = value``"""
+
+    __slots__ = ("dst", "value")
+    op = "const"
+
+    def __init__(self, label, dst: Reg, value: int, src_line=None):
+        super().__init__(label, src_line)
+        self.dst = dst
+        self.value = int(value)
+
+    def operands_repr(self):
+        return "%r, %d" % (self.dst, self.value)
+
+
+class Mov(Instr):
+    """``dst = src`` (register/constant copy — thread-local only)."""
+
+    __slots__ = ("dst", "src")
+    op = "mov"
+
+    def __init__(self, label, dst: Reg, src, src_line=None):
+        super().__init__(label, src_line)
+        self.dst = dst
+        self.src = src
+
+    def operands_repr(self):
+        return "%r, %r" % (self.dst, self.src)
+
+
+#: Binary operator names understood by :class:`BinOp`.
+BINARY_OPS = frozenset(
+    [
+        "add", "sub", "mul", "div", "mod",
+        "and", "or", "xor", "shl", "shr",
+        "eq", "ne", "lt", "le", "gt", "ge",
+    ]
+)
+
+#: Unary operator names understood by :class:`UnOp`.
+UNARY_OPS = frozenset(["neg", "not", "bnot"])
+
+
+class BinOp(Instr):
+    """``dst = a <binop> b`` over thread-local values."""
+
+    __slots__ = ("dst", "binop", "a", "b")
+    op = "binop"
+
+    def __init__(self, label, dst: Reg, binop: str, a, b, src_line=None):
+        if binop not in BINARY_OPS:
+            raise ValueError("unknown binary operator: %r" % (binop,))
+        super().__init__(label, src_line)
+        self.dst = dst
+        self.binop = binop
+        self.a = a
+        self.b = b
+
+    def operands_repr(self):
+        return "%r, %s, %r, %r" % (self.dst, self.binop, self.a, self.b)
+
+
+class UnOp(Instr):
+    """``dst = <unop> a`` over thread-local values."""
+
+    __slots__ = ("dst", "unop", "a")
+    op = "unop"
+
+    def __init__(self, label, dst: Reg, unop: str, a, src_line=None):
+        if unop not in UNARY_OPS:
+            raise ValueError("unknown unary operator: %r" % (unop,))
+        super().__init__(label, src_line)
+        self.dst = dst
+        self.unop = unop
+        self.a = a
+
+    def operands_repr(self):
+        return "%r, %s, %r" % (self.dst, self.unop, self.a)
+
+
+class Load(Instr):
+    """``dst = *addr`` — shared-memory load through the memory model."""
+
+    __slots__ = ("dst", "addr")
+    op = "load"
+
+    def __init__(self, label, dst: Reg, addr, src_line=None):
+        super().__init__(label, src_line)
+        self.dst = dst
+        self.addr = addr
+
+    def is_shared_access(self):
+        return True
+
+    def is_load(self):
+        return True
+
+    def operands_repr(self):
+        return "%r, [%r]" % (self.dst, self.addr)
+
+
+class Store(Instr):
+    """``*addr = src`` — shared-memory store (buffered under TSO/PSO)."""
+
+    __slots__ = ("src", "addr")
+    op = "store"
+
+    def __init__(self, label, src, addr, src_line=None):
+        super().__init__(label, src_line)
+        self.src = src
+        self.addr = addr
+
+    def is_shared_access(self):
+        return True
+
+    def is_store(self):
+        return True
+
+    def operands_repr(self):
+        return "[%r], %r" % (self.addr, self.src)
+
+
+class Cas(Instr):
+    """``dst = CAS(*addr, expected, new)`` — atomic compare-and-swap.
+
+    Sets ``dst`` to 1 on success, 0 on failure.  Per the paper's CAS rules,
+    executing a CAS requires the relevant store buffer(s) to be empty: the
+    VM drains the whole thread buffer under TSO and the target variable's
+    buffer under PSO before performing the atomic update.
+    """
+
+    __slots__ = ("dst", "addr", "expected", "new")
+    op = "cas"
+
+    def __init__(self, label, dst: Reg, addr, expected, new, src_line=None):
+        super().__init__(label, src_line)
+        self.dst = dst
+        self.addr = addr
+        self.expected = expected
+        self.new = new
+
+    def is_shared_access(self):
+        return True
+
+    def operands_repr(self):
+        return "%r, [%r], %r, %r" % (self.dst, self.addr, self.expected, self.new)
+
+
+class Fence(Instr):
+    """A memory fence of the given :class:`FenceKind`.
+
+    ``synthesized`` marks fences inserted by the synthesis engine (as
+    opposed to fences present in the original program), so that reports can
+    distinguish inferred fences from pre-existing ones.
+    """
+
+    __slots__ = ("kind", "synthesized")
+    op = "fence"
+
+    def __init__(self, label, kind: FenceKind = FenceKind.FULL,
+                 src_line=None, synthesized: bool = False):
+        super().__init__(label, src_line)
+        self.kind = kind
+        self.synthesized = synthesized
+
+    def operands_repr(self):
+        tag = " (synth)" if self.synthesized else ""
+        return self.kind.value + tag
+
+
+class Br(Instr):
+    """Unconditional branch to the instruction with label ``target``."""
+
+    __slots__ = ("target",)
+    op = "br"
+
+    def __init__(self, label, target: int, src_line=None):
+        super().__init__(label, src_line)
+        self.target = target
+
+    def is_terminator(self):
+        return True
+
+    def jump_targets(self):
+        return (self.target,)
+
+    def operands_repr(self):
+        return "L%d" % self.target
+
+
+class Cbr(Instr):
+    """Conditional branch: if ``cond`` is non-zero go to ``then_target``,
+    otherwise ``else_target``."""
+
+    __slots__ = ("cond", "then_target", "else_target")
+    op = "cbr"
+
+    def __init__(self, label, cond, then_target: int, else_target: int,
+                 src_line=None):
+        super().__init__(label, src_line)
+        self.cond = cond
+        self.then_target = then_target
+        self.else_target = else_target
+
+    def is_terminator(self):
+        return True
+
+    def jump_targets(self):
+        return (self.then_target, self.else_target)
+
+    def operands_repr(self):
+        return "%r, L%d, L%d" % (self.cond, self.then_target, self.else_target)
+
+
+class Call(Instr):
+    """``dst = fn(args...)`` — intra-module function call."""
+
+    __slots__ = ("dst", "fn", "args")
+    op = "call"
+
+    def __init__(self, label, dst: Optional[Reg], fn: str, args: List,
+                 src_line=None):
+        super().__init__(label, src_line)
+        self.dst = dst
+        self.fn = fn
+        self.args = list(args)
+
+    def operands_repr(self):
+        return "%r, %s(%s)" % (self.dst, self.fn,
+                               ", ".join(repr(a) for a in self.args))
+
+
+class Ret(Instr):
+    """Return from the current function (``value`` may be None for void)."""
+
+    __slots__ = ("value",)
+    op = "ret"
+
+    def __init__(self, label, value=None, src_line=None):
+        super().__init__(label, src_line)
+        self.value = value
+
+    def is_terminator(self):
+        return True
+
+    def operands_repr(self):
+        return repr(self.value) if self.value is not None else ""
+
+
+class Fork(Instr):
+    """``dst = fork(fn, args...)`` — spawn a thread running ``fn``.
+
+    ``dst`` receives the new thread id.
+    """
+
+    __slots__ = ("dst", "fn", "args")
+    op = "fork"
+
+    def __init__(self, label, dst: Optional[Reg], fn: str, args: List,
+                 src_line=None):
+        super().__init__(label, src_line)
+        self.dst = dst
+        self.fn = fn
+        self.args = list(args)
+
+    def operands_repr(self):
+        return "%r, %s(%s)" % (self.dst, self.fn,
+                               ", ".join(repr(a) for a in self.args))
+
+
+class Join(Instr):
+    """Block until thread ``tid`` finishes and its buffers are drained."""
+
+    __slots__ = ("tid",)
+    op = "join"
+
+    def __init__(self, label, tid, src_line=None):
+        super().__init__(label, src_line)
+        self.tid = tid
+
+    def operands_repr(self):
+        return repr(self.tid)
+
+
+class SelfId(Instr):
+    """``dst = self()`` — the calling thread's id."""
+
+    __slots__ = ("dst",)
+    op = "self"
+
+    def __init__(self, label, dst: Reg, src_line=None):
+        super().__init__(label, src_line)
+        self.dst = dst
+
+    def operands_repr(self):
+        return repr(self.dst)
+
+
+class PageAlloc(Instr):
+    """``dst = pagealloc(size)`` — allocate ``size`` fresh shared cells.
+
+    Stands in for ``mmap``: returns the base address of a new region that
+    is registered with the memory-safety checker.  Bases are 2-aligned so
+    algorithms may use the low pointer bit as a mark (Harris's set).
+    """
+
+    __slots__ = ("dst", "size")
+    op = "pagealloc"
+
+    def __init__(self, label, dst: Reg, size, src_line=None):
+        super().__init__(label, src_line)
+        self.dst = dst
+        self.size = size
+
+    def operands_repr(self):
+        return "%r, %r" % (self.dst, self.size)
+
+
+class PageFree(Instr):
+    """``pagefree(addr)`` — release a region previously page-allocated.
+
+    Per the paper, deallocation does *not* flush write buffers; a later
+    flush into the freed region is a memory-safety violation.
+    """
+
+    __slots__ = ("addr",)
+    op = "pagefree"
+
+    def __init__(self, label, addr, src_line=None):
+        super().__init__(label, src_line)
+        self.addr = addr
+
+    def operands_repr(self):
+        return repr(self.addr)
+
+
+class AddrOf(Instr):
+    """``dst = &global`` — materialise the address of a module global."""
+
+    __slots__ = ("dst", "sym")
+    op = "addrof"
+
+    def __init__(self, label, dst: Reg, sym: Sym, src_line=None):
+        super().__init__(label, src_line)
+        self.dst = dst
+        self.sym = sym
+
+    def operands_repr(self):
+        return "%r, %r" % (self.dst, self.sym)
+
+
+class Assert(Instr):
+    """Abort the execution with ``AssertionViolation`` if cond is zero."""
+
+    __slots__ = ("cond", "message")
+    op = "assert"
+
+    def __init__(self, label, cond, message: str = "", src_line=None):
+        super().__init__(label, src_line)
+        self.cond = cond
+        self.message = message
+
+    def operands_repr(self):
+        return "%r, %r" % (self.cond, self.message)
+
+
+class Nop(Instr):
+    """Does nothing; used as a branch anchor."""
+
+    __slots__ = ()
+    op = "nop"

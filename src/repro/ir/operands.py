@@ -1,0 +1,83 @@
+"""Operand kinds for DIR instructions.
+
+DIR (DFENCE IR) is a flat, register-based intermediate representation.
+Instruction operands are one of three kinds:
+
+* :class:`Reg` — a thread-local virtual register (infinite supply per
+  frame).  Thread-local variables never touch the memory-model machinery,
+  matching the paper's rule that "thread-local variables access the memory
+  directly".
+* :class:`Const` — an immediate integer constant.
+* :class:`Sym` — the name of a module-level global.  The VM resolves a
+  ``Sym`` to its shared-memory address at execution time; loads and stores
+  through it go through the store-buffer semantics.
+"""
+
+from __future__ import annotations
+
+
+class Reg:
+    """A virtual register operand (thread-local, word-sized)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return "%" + self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Reg) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("reg", self.name))
+
+
+class Const:
+    """An immediate integer constant operand."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = int(value)
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+
+class Sym:
+    """A reference to a module-level global variable by name.
+
+    When used as the address operand of a load/store/cas, the access is a
+    *shared-memory* access at the global's base address.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return "@" + self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Sym) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("sym", self.name))
+
+
+#: Union type for documentation purposes.
+Operand = (Reg, Const, Sym)
+
+
+def is_operand(x: object) -> bool:
+    """Return True if *x* is a valid DIR operand."""
+    return isinstance(x, (Reg, Const, Sym))

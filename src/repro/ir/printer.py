@@ -1,0 +1,28 @@
+"""Human-readable printing of DIR modules and functions."""
+
+from __future__ import annotations
+
+from .function import Function
+from .module import Module
+
+
+def format_function(fn: Function) -> str:
+    """Render a function as text, one instruction per line."""
+    lines = ["func %s(%s) {" % (fn.name, ", ".join(fn.params))]
+    for instr in fn.body:
+        src = "  ; line %s" % instr.src_line if instr.src_line else ""
+        lines.append("  %r%s" % (instr, src))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    """Render a whole module: globals then functions."""
+    lines = ["module %s" % module.name, ""]
+    for var in module.globals.values():
+        init = " = %r" % (var.init,) if var.init else ""
+        lines.append("global %s[%d]%s" % (var.name, var.size, init))
+    for fn in module.functions.values():
+        lines.append("")
+        lines.append(format_function(fn))
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Structural verification of DIR modules.
+
+The verifier catches malformed IR early — dangling branch targets, calls to
+unknown functions, duplicate labels, non-terminated functions — so that
+interpreter failures always mean semantic bugs, not broken construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import instructions as ins
+from .module import Module
+from .operands import Const, Reg, Sym, is_operand
+
+
+class VerificationError(Exception):
+    """Raised when a module fails structural verification."""
+
+    def __init__(self, errors: List[str]) -> None:
+        super().__init__("; ".join(errors))
+        self.errors = errors
+
+
+def verify_module(module: Module) -> None:
+    """Check a module's structural invariants; raise on any violation."""
+    errors: List[str] = []
+    seen_labels = set()
+
+    for fn in module.functions.values():
+        if not fn.body:
+            errors.append("%s: empty body" % fn.name)
+            continue
+        if not fn.body[-1].is_terminator():
+            errors.append("%s: does not end with a terminator" % fn.name)
+        local_labels = set()
+        for instr in fn.body:
+            if instr.label in seen_labels:
+                errors.append("%s: duplicate label L%d" % (fn.name, instr.label))
+            seen_labels.add(instr.label)
+            local_labels.add(instr.label)
+        for instr in fn.body:
+            for target in instr.jump_targets():
+                if target not in local_labels:
+                    errors.append("%s: L%d branches to unknown L%d"
+                                  % (fn.name, instr.label, target))
+            _check_operands(module, fn.name, instr, errors)
+
+    if errors:
+        raise VerificationError(errors)
+
+
+def _check_operands(module: Module, fn_name: str, instr, errors: List[str]):
+    operands = []
+    if isinstance(instr, ins.Mov):
+        operands = [instr.src]
+    elif isinstance(instr, ins.BinOp):
+        operands = [instr.a, instr.b]
+    elif isinstance(instr, ins.UnOp):
+        operands = [instr.a]
+    elif isinstance(instr, ins.Load):
+        operands = [instr.addr]
+    elif isinstance(instr, ins.Store):
+        operands = [instr.src, instr.addr]
+    elif isinstance(instr, ins.Cas):
+        operands = [instr.addr, instr.expected, instr.new]
+    elif isinstance(instr, ins.Cbr):
+        operands = [instr.cond]
+    elif isinstance(instr, (ins.Call, ins.Fork)):
+        operands = list(instr.args)
+        if instr.fn not in module.functions:
+            errors.append("%s: L%d %s unknown function %r"
+                          % (fn_name, instr.label, instr.op, instr.fn))
+        elif len(instr.args) != len(module.functions[instr.fn].params):
+            errors.append("%s: L%d %s %s arity mismatch (%d args, %d params)"
+                          % (fn_name, instr.label, instr.op, instr.fn,
+                             len(instr.args),
+                             len(module.functions[instr.fn].params)))
+    elif isinstance(instr, ins.Ret):
+        if instr.value is not None:
+            operands = [instr.value]
+    elif isinstance(instr, ins.Join):
+        operands = [instr.tid]
+    elif isinstance(instr, ins.PageAlloc):
+        operands = [instr.size]
+    elif isinstance(instr, ins.PageFree):
+        operands = [instr.addr]
+    elif isinstance(instr, ins.AddrOf):
+        if instr.sym.name not in module.globals:
+            errors.append("%s: L%d addrof unknown global %r"
+                          % (fn_name, instr.label, instr.sym.name))
+    elif isinstance(instr, ins.Assert):
+        operands = [instr.cond]
+
+    for op in operands:
+        if not is_operand(op):
+            errors.append("%s: L%d bad operand %r"
+                          % (fn_name, instr.label, op))
+        elif isinstance(op, Sym) and op.name not in module.globals:
+            errors.append("%s: L%d references unknown global %r"
+                          % (fn_name, instr.label, op.name))

@@ -1,0 +1,194 @@
+"""A catalog of classic litmus tests with exact per-model outcome sets.
+
+Each :class:`LitmusTest` carries MiniC source whose thread return values
+are the observed registers, plus the *exact* set of outcomes each memory
+model admits (verified exhaustively in tests/test_litmus_catalog.py via
+the schedule explorer).  The catalog doubles as executable documentation
+of what SC, TSO and PSO each allow:
+
+========  ===========================  ====  ====  ====
+name      relaxation observed          SC    TSO   PSO
+========  ===========================  ====  ====  ====
+sb        store -> load reorder        no    yes   yes
+mp        store -> store reorder       no    no    yes
+lb        load -> store reorder        no    no    no
+corr      same-location read reorder   no    no    no
+sb_fenced sb with st-ld fences         no    no    no
+mp_fenced mp with a st-st fence        no    no    no
+========  ===========================  ====  ====  ====
+
+(Store buffers never reorder load->load/load->store or break
+per-location coherence, hence the three permanent "no" rows.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from .minic.lower import compile_source
+
+
+class LitmusTest:
+    """One litmus test: program + exact expected outcomes per model.
+
+    Outcomes are tuples of every thread's return value in tid order
+    (tid 0 is main).
+    """
+
+    def __init__(self, name: str, description: str, source: str,
+                 expected: Dict[str, FrozenSet[Tuple[int, ...]]],
+                 relaxed_outcome: Tuple[int, ...]) -> None:
+        self.name = name
+        self.description = description
+        self.source = source
+        self.expected = expected
+        #: The outcome that distinguishes relaxed from SC behaviour.
+        self.relaxed_outcome = relaxed_outcome
+
+    def compile(self):
+        return compile_source(self.source, "litmus_" + self.name)
+
+    def models_allowing_relaxation(self):
+        return sorted(model for model, outcomes in self.expected.items()
+                      if self.relaxed_outcome in outcomes)
+
+    def __repr__(self) -> str:
+        return "<LitmusTest %s>" % self.name
+
+
+def _outcomes(*tuples) -> FrozenSet[Tuple[int, ...]]:
+    return frozenset(tuples)
+
+
+_SB_SOURCE = """
+int X; int Y;
+int t1() { X = 1; int r = Y; return r; }
+int main() {
+  int t = fork(t1);
+  Y = 1;
+  int r = X;
+  join(t);
+  return r;
+}
+"""
+
+_SB_FENCED_SOURCE = """
+int X; int Y;
+int t1() { X = 1; fence_sl(); int r = Y; return r; }
+int main() {
+  int t = fork(t1);
+  Y = 1;
+  fence_sl();
+  int r = X;
+  join(t);
+  return r;
+}
+"""
+
+_MP_SOURCE = """
+int D; int F;
+int reader() {
+  if (F == 1) { return D; }
+  return 9;
+}
+int main() {
+  int t = fork(reader);
+  D = 1; F = 1;
+  join(t);
+  return 0;
+}
+"""
+
+_MP_FENCED_SOURCE = """
+int D; int F;
+int reader() {
+  if (F == 1) { return D; }
+  return 9;
+}
+int main() {
+  int t = fork(reader);
+  D = 1;
+  fence_ss();
+  F = 1;
+  join(t);
+  return 0;
+}
+"""
+
+_LB_SOURCE = """
+int X; int Y;
+int t1() { int r = X; Y = 1; return r; }
+int main() {
+  int t = fork(t1);
+  int r = Y;
+  X = 1;
+  join(t);
+  return r;
+}
+"""
+
+_CORR_SOURCE = """
+int X;
+int reader() {
+  int a = X;
+  int b = X;
+  return a * 10 + b;      // 10 would mean X went backwards
+}
+int main() {
+  int t = fork(reader);
+  X = 1;
+  join(t);
+  return 0;
+}
+"""
+
+_SB_ALL = _outcomes((0, 1), (1, 0), (1, 1))
+_SB_RELAXED = _outcomes((0, 0), (0, 1), (1, 0), (1, 1))
+_MP_SC = _outcomes((0, 1), (0, 9))
+_MP_RELAXED = _outcomes((0, 0), (0, 1), (0, 9))
+_LB_SC = _outcomes((0, 0), (0, 1), (1, 0))
+_CORR_OK = _outcomes((0, 0), (0, 1), (0, 11))
+
+#: The catalog, keyed by short name.
+LITMUS_TESTS: Dict[str, LitmusTest] = {
+    "sb": LitmusTest(
+        "sb",
+        "Store buffering (Dekker): both threads store, then load the "
+        "other's variable; (0, 0) needs a store->load reorder.",
+        _SB_SOURCE,
+        {"sc": _SB_ALL, "tso": _SB_RELAXED, "pso": _SB_RELAXED},
+        relaxed_outcome=(0, 0)),
+    "sb_fenced": LitmusTest(
+        "sb_fenced",
+        "SB with store-load fences: SC behaviour restored everywhere.",
+        _SB_FENCED_SOURCE,
+        {"sc": _SB_ALL, "tso": _SB_ALL, "pso": _SB_ALL},
+        relaxed_outcome=(0, 0)),
+    "mp": LitmusTest(
+        "mp",
+        "Message passing: data then flag; reading the flag but stale "
+        "data ((0, 0)) needs a store->store reorder.",
+        _MP_SOURCE,
+        {"sc": _MP_SC, "tso": _MP_SC, "pso": _MP_RELAXED},
+        relaxed_outcome=(0, 0)),
+    "mp_fenced": LitmusTest(
+        "mp_fenced",
+        "MP with a store-store fence between data and flag.",
+        _MP_FENCED_SOURCE,
+        {"sc": _MP_SC, "tso": _MP_SC, "pso": _MP_SC},
+        relaxed_outcome=(0, 0)),
+    "lb": LitmusTest(
+        "lb",
+        "Load buffering: load then store in each thread; (1, 1) needs a "
+        "load->store reorder, which store buffers never produce.",
+        _LB_SOURCE,
+        {"sc": _LB_SC, "tso": _LB_SC, "pso": _LB_SC},
+        relaxed_outcome=(1, 1)),
+    "corr": LitmusTest(
+        "corr",
+        "Coherence of read-read: two reads of one location must not go "
+        "backwards (outcome 10), on any model.",
+        _CORR_SOURCE,
+        {"sc": _CORR_OK, "tso": _CORR_OK, "pso": _CORR_OK},
+        relaxed_outcome=(0, 10)),
+}

@@ -1,0 +1,27 @@
+"""Operational store-buffer memory models (SC, TSO, PSO).
+
+Implements the paper's Semantics 1 (value buffers) fused with Semantics 2
+(the instrumented label buffers used to derive ordering predicates): each
+buffered store carries the program label that issued it, and every shared
+access reports the pending labels it may have bypassed to a
+:class:`~repro.memory.predicates.PredicateSink`.
+"""
+
+from .models import (
+    PSOModel,
+    SCModel,
+    StoreBufferModel,
+    TSOModel,
+    make_model,
+)
+from .predicates import OrderingPredicate, PredicateSink
+
+__all__ = [
+    "OrderingPredicate",
+    "PSOModel",
+    "PredicateSink",
+    "SCModel",
+    "StoreBufferModel",
+    "TSOModel",
+    "make_model",
+]

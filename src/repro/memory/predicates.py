@@ -1,0 +1,100 @@
+"""Ordering predicates ``[l < k]`` and their per-execution collection.
+
+An ordering predicate (paper §4.1) names two program labels of the same
+thread and demands that the statement at ``l`` take visible effect before
+the statement at ``k``.  An execution *violates* ``[l < k]`` when a store
+at ``l`` is followed (same thread) by an access at ``k`` to a *different*
+shared variable with no flush of ``l``'s store in between — exactly the
+situations the instrumented semantics detects online.
+
+``avoid(p)`` (the disjunction of predicates violated by execution ``p``) is
+simply the contents of the :class:`PredicateSink` after running ``p``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..ir.instructions import FenceKind
+
+
+class OrderingPredicate:
+    """The predicate ``[store_label < access_label]``.
+
+    ``kind`` records which fence flavour enforcing the predicate calls for:
+    ``ST_LD`` when the access at ``k`` is a load, ``ST_ST`` when it is a
+    store, ``FULL`` when both situations were observed (or the access is a
+    CAS).
+    """
+
+    __slots__ = ("store_label", "access_label", "kind")
+
+    def __init__(self, store_label: int, access_label: int,
+                 kind: FenceKind) -> None:
+        self.store_label = store_label
+        self.access_label = access_label
+        self.kind = kind
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Identity of the predicate — the label pair ``(l, k)``."""
+        return (self.store_label, self.access_label)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, OrderingPredicate)
+                and other.key == self.key)
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:
+        return "[L%d < L%d]/%s" % (
+            self.store_label, self.access_label, self.kind.value)
+
+
+def merge_kinds(a: FenceKind, b: FenceKind) -> FenceKind:
+    """Combine two required fence flavours into one that provides both."""
+    if a == b:
+        return a
+    return FenceKind.FULL
+
+
+class PredicateSink:
+    """Collects the ordering predicates violated by one execution.
+
+    The memory model reports each bypass event via :meth:`add`; duplicate
+    label pairs are merged (their fence kinds combined).  After the
+    execution, :meth:`predicates` is the paper's ``avoid(p)`` disjunction.
+    """
+
+    def __init__(self) -> None:
+        self._by_key: Dict[Tuple[int, int], OrderingPredicate] = {}
+
+    def add(self, store_label: int, access_label: int,
+            kind: FenceKind) -> None:
+        key = (store_label, access_label)
+        existing = self._by_key.get(key)
+        if existing is None:
+            self._by_key[key] = OrderingPredicate(
+                store_label, access_label, kind)
+        else:
+            existing.kind = merge_kinds(existing.kind, kind)
+
+    def predicates(self) -> List[OrderingPredicate]:
+        """The collected predicates, in deterministic (label-pair) order."""
+        return [self._by_key[k] for k in sorted(self._by_key)]
+
+    def keys(self) -> FrozenSet[Tuple[int, int]]:
+        return frozenset(self._by_key)
+
+    def clear(self) -> None:
+        self._by_key.clear()
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __bool__(self) -> bool:
+        return bool(self._by_key)
+
+    def __iter__(self):
+        return iter(self.predicates())

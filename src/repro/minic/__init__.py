@@ -1,0 +1,15 @@
+"""MiniC — the C-like source language of the reproduction.
+
+The paper consumes concurrent C via LLVM bytecode; here the benchmark
+algorithms are written in MiniC and compiled by this package to DIR.
+"""
+
+from .ast import Program
+from .lexer import LexError, Token, tokenize
+from .lower import CompileError, compile_source
+from .parser import ParseError, parse
+
+__all__ = [
+    "CompileError", "LexError", "ParseError", "Program", "Token",
+    "compile_source", "parse", "tokenize",
+]

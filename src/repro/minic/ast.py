@@ -1,0 +1,302 @@
+"""MiniC abstract syntax tree.
+
+Plain node classes with source-line tags.  The parser builds these; the
+semantic pass and lowering consume them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class Node:
+    """Base AST node carrying its source line."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: int) -> None:
+        self.line = line
+
+
+# ----------------------------------------------------------------------
+# Types as written in source
+
+class TypeExpr(Node):
+    """``int``/``void``/``struct S`` with ``stars`` levels of pointer."""
+
+    __slots__ = ("base", "struct_name", "stars")
+
+    def __init__(self, line: int, base: str,
+                 struct_name: Optional[str] = None, stars: int = 0) -> None:
+        super().__init__(line)
+        self.base = base                  # 'int' | 'void' | 'struct'
+        self.struct_name = struct_name
+        self.stars = stars
+
+    def __repr__(self) -> str:
+        name = "struct %s" % self.struct_name if self.base == "struct" \
+            else self.base
+        return name + "*" * self.stars
+
+
+# ----------------------------------------------------------------------
+# Declarations
+
+class Program(Node):
+    __slots__ = ("decls",)
+
+    def __init__(self, decls: List["Node"]) -> None:
+        super().__init__(1)
+        self.decls = decls
+
+
+class StructDecl(Node):
+    __slots__ = ("name", "fields")
+
+    def __init__(self, line: int, name: str,
+                 fields: List[Tuple[TypeExpr, str]]) -> None:
+        super().__init__(line)
+        self.name = name
+        self.fields = fields
+
+
+class ConstDecl(Node):
+    __slots__ = ("name", "value")
+
+    def __init__(self, line: int, name: str, value: "Expr") -> None:
+        super().__init__(line)
+        self.name = name
+        self.value = value
+
+
+class GlobalDecl(Node):
+    __slots__ = ("type_expr", "name", "array_len", "init")
+
+    def __init__(self, line: int, type_expr: TypeExpr, name: str,
+                 array_len: Optional["Expr"] = None,
+                 init: Optional["Expr"] = None) -> None:
+        super().__init__(line)
+        self.type_expr = type_expr
+        self.name = name
+        self.array_len = array_len
+        self.init = init
+
+
+class FuncDecl(Node):
+    __slots__ = ("ret_type", "name", "params", "body")
+
+    def __init__(self, line: int, ret_type: TypeExpr, name: str,
+                 params: List[Tuple[TypeExpr, str]], body: "Block") -> None:
+        super().__init__(line)
+        self.ret_type = ret_type
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+# ----------------------------------------------------------------------
+# Statements
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, line: int, stmts: List[Stmt]) -> None:
+        super().__init__(line)
+        self.stmts = stmts
+
+
+class VarDecl(Stmt):
+    __slots__ = ("type_expr", "name", "init")
+
+    def __init__(self, line: int, type_expr: TypeExpr, name: str,
+                 init: Optional["Expr"]) -> None:
+        super().__init__(line)
+        self.type_expr = type_expr
+        self.name = name
+        self.init = init
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, line: int, cond: "Expr", then: Stmt,
+                 els: Optional[Stmt]) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, line: int, cond: "Expr", body: Stmt) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Stmt):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, line: int, init: Optional[Stmt],
+                 cond: Optional["Expr"], step: Optional["Expr"],
+                 body: Stmt) -> None:
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, line: int, value: Optional["Expr"]) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, line: int, expr: "Expr") -> None:
+        super().__init__(line)
+        self.expr = expr
+
+
+class AssertStmt(Stmt):
+    __slots__ = ("cond",)
+
+    def __init__(self, line: int, cond: "Expr") -> None:
+        super().__init__(line)
+        self.cond = cond
+
+
+# ----------------------------------------------------------------------
+# Expressions
+
+class Expr(Node):
+    __slots__ = ()
+
+
+class Num(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, line: int, value: int) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class Ident(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, line: int, name: str) -> None:
+        super().__init__(line)
+        self.name = name
+
+
+class Unary(Expr):
+    """op in {'-', '!', '~'}."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, line: int, op: str, operand: Expr) -> None:
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, line: int, op: str, left: Expr, right: Expr) -> None:
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Ternary(Expr):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, line: int, cond: Expr, then: Expr, els: Expr) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class Assign(Expr):
+    __slots__ = ("target", "value")
+
+    def __init__(self, line: int, target: Expr, value: Expr) -> None:
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+class Call(Expr):
+    __slots__ = ("name", "args")
+
+    def __init__(self, line: int, name: str, args: List[Expr]) -> None:
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+class SizeOf(Expr):
+    __slots__ = ("type_expr",)
+
+    def __init__(self, line: int, type_expr: TypeExpr) -> None:
+        super().__init__(line)
+        self.type_expr = type_expr
+
+
+class Index(Expr):
+    __slots__ = ("base", "index")
+
+    def __init__(self, line: int, base: Expr, index: Expr) -> None:
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Field(Expr):
+    """``base.name`` (arrow=False) or ``base->name`` (arrow=True)."""
+
+    __slots__ = ("base", "name", "arrow")
+
+    def __init__(self, line: int, base: Expr, name: str, arrow: bool) -> None:
+        super().__init__(line)
+        self.base = base
+        self.name = name
+        self.arrow = arrow
+
+
+class Deref(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, line: int, operand: Expr) -> None:
+        super().__init__(line)
+        self.operand = operand
+
+
+class AddrOf(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, line: int, operand: Expr) -> None:
+        super().__init__(line)
+        self.operand = operand

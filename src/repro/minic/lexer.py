@@ -1,0 +1,97 @@
+"""MiniC lexer.
+
+MiniC is the C-like source language of the reproduction — the concurrent
+algorithms are written in it and compiled to DIR.  The lexer produces a
+token stream with line information (fence reports are given in source
+lines, like the paper's ``(method, line1:line2)`` triples).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+KEYWORDS = frozenset([
+    "int", "void", "struct", "const", "if", "else", "while", "for",
+    "return", "break", "continue", "assert", "sizeof",
+])
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=",  # recognised but rejected later (no compound assignment)
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ",", ";", ".", "?", ":",
+]
+
+
+class Token(NamedTuple):
+    kind: str    # 'ident', 'num', 'kw', 'op', 'eof'
+    text: str
+    line: int
+
+
+class LexError(Exception):
+    """Raised on malformed input, with the offending line number."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise MiniC source; returns tokens ending with an 'eof' token."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            try:
+                int(text, 0)
+            except ValueError:
+                raise LexError("bad number literal %r" % text, line) from None
+            tokens.append(Token("num", text, line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError("unexpected character %r" % ch, line)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,367 @@
+"""MiniC recursive-descent parser.
+
+Produces the AST of :mod:`repro.minic.ast`.  Compound assignments
+(``+=`` etc.) are desugared at parse time; ``++``/``--`` are rejected with
+a helpful message (MiniC keeps side effects explicit).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on syntax errors, with the offending line."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+_COMPOUND_ASSIGN = {
+    "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+#: Binary operator precedence tiers, loosest first.
+_BINARY_TIERS = [
+    ["||"], ["&&"], ["|"], ["^"], ["&"],
+    ["==", "!="], ["<", "<=", ">", ">="],
+    ["<<", ">>"], ["+", "-"], ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.cur
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.at(kind, text):
+            want = text if text is not None else kind
+            raise ParseError("expected %r, found %r" % (want, self.cur.text),
+                             self.cur.line)
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # Program structure
+
+    def parse_program(self) -> ast.Program:
+        decls: List[ast.Node] = []
+        while not self.at("eof"):
+            decls.append(self._declaration())
+        return ast.Program(decls)
+
+    def _declaration(self) -> ast.Node:
+        if self.at("kw", "const"):
+            return self._const_decl()
+        if self.at("kw", "struct") and self.peek(2).text == "{":
+            return self._struct_decl()
+        return self._global_or_func()
+
+    def _const_decl(self) -> ast.ConstDecl:
+        line = self.expect("kw", "const").line
+        name = self.expect("ident").text
+        self.expect("op", "=")
+        value = self._expression()
+        self.expect("op", ";")
+        return ast.ConstDecl(line, name, value)
+
+    def _struct_decl(self) -> ast.StructDecl:
+        line = self.expect("kw", "struct").line
+        name = self.expect("ident").text
+        self.expect("op", "{")
+        fields: List[Tuple[ast.TypeExpr, str]] = []
+        while not self.accept("op", "}"):
+            ftype = self._type_expr()
+            fname = self.expect("ident").text
+            self.expect("op", ";")
+            fields.append((ftype, fname))
+        self.expect("op", ";")
+        return ast.StructDecl(line, name, fields)
+
+    def _global_or_func(self) -> ast.Node:
+        type_expr = self._type_expr()
+        name_tok = self.expect("ident")
+        if self.at("op", "("):
+            return self._func_decl(type_expr, name_tok)
+        return self._global_decl(type_expr, name_tok)
+
+    def _func_decl(self, ret_type: ast.TypeExpr,
+                   name_tok: Token) -> ast.FuncDecl:
+        self.expect("op", "(")
+        params: List[Tuple[ast.TypeExpr, str]] = []
+        if not self.at("op", ")"):
+            if self.accept("kw", "void") and self.at("op", ")"):
+                pass  # f(void)
+            else:
+                if self.tokens[self.pos - 1].text == "void":
+                    self.pos -= 1  # it was the start of 'void*' etc.
+                while True:
+                    ptype = self._type_expr()
+                    pname = self.expect("ident").text
+                    params.append((ptype, pname))
+                    if not self.accept("op", ","):
+                        break
+        self.expect("op", ")")
+        body = self._block()
+        return ast.FuncDecl(name_tok.line, ret_type, name_tok.text,
+                            params, body)
+
+    def _global_decl(self, type_expr: ast.TypeExpr,
+                     name_tok: Token) -> ast.GlobalDecl:
+        array_len = None
+        init = None
+        if self.accept("op", "["):
+            array_len = self._expression()
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            init = self._expression()
+        self.expect("op", ";")
+        return ast.GlobalDecl(name_tok.line, type_expr, name_tok.text,
+                              array_len, init)
+
+    # ------------------------------------------------------------------
+    # Types
+
+    def _looks_like_type(self) -> bool:
+        return (self.at("kw", "int") or self.at("kw", "void")
+                or self.at("kw", "struct"))
+
+    def _type_expr(self) -> ast.TypeExpr:
+        tok = self.cur
+        if self.accept("kw", "int"):
+            node = ast.TypeExpr(tok.line, "int")
+        elif self.accept("kw", "void"):
+            node = ast.TypeExpr(tok.line, "void")
+        elif self.accept("kw", "struct"):
+            name = self.expect("ident").text
+            node = ast.TypeExpr(tok.line, "struct", struct_name=name)
+        else:
+            raise ParseError("expected a type, found %r" % tok.text, tok.line)
+        while self.accept("op", "*"):
+            node.stars += 1
+        return node
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def _block(self) -> ast.Block:
+        open_tok = self.expect("op", "{")
+        stmts: List[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self._statement())
+        return ast.Block(open_tok.line, stmts)
+
+    def _statement(self) -> ast.Stmt:
+        tok = self.cur
+        if self.at("op", "{"):
+            return self._block()
+        if self._looks_like_type():
+            return self._var_decl()
+        if self.accept("kw", "if"):
+            self.expect("op", "(")
+            cond = self._expression()
+            self.expect("op", ")")
+            then = self._statement()
+            els = self._statement() if self.accept("kw", "else") else None
+            return ast.If(tok.line, cond, then, els)
+        if self.accept("kw", "while"):
+            self.expect("op", "(")
+            cond = self._expression()
+            self.expect("op", ")")
+            body = self._statement()
+            return ast.While(tok.line, cond, body)
+        if self.accept("kw", "for"):
+            return self._for_stmt(tok.line)
+        if self.accept("kw", "return"):
+            value = None if self.at("op", ";") else self._expression()
+            self.expect("op", ";")
+            return ast.Return(tok.line, value)
+        if self.accept("kw", "break"):
+            self.expect("op", ";")
+            return ast.Break(tok.line)
+        if self.accept("kw", "continue"):
+            self.expect("op", ";")
+            return ast.Continue(tok.line)
+        if self.accept("kw", "assert"):
+            self.expect("op", "(")
+            cond = self._expression()
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return ast.AssertStmt(tok.line, cond)
+        expr = self._expression()
+        self.expect("op", ";")
+        return ast.ExprStmt(tok.line, expr)
+
+    def _var_decl(self) -> ast.VarDecl:
+        type_expr = self._type_expr()
+        name_tok = self.expect("ident")
+        init = self._expression() if self.accept("op", "=") else None
+        self.expect("op", ";")
+        return ast.VarDecl(name_tok.line, type_expr, name_tok.text, init)
+
+    def _for_stmt(self, line: int) -> ast.For:
+        self.expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.at("op", ";"):
+            if self._looks_like_type():
+                init = self._var_decl()  # consumes the ';'
+            else:
+                expr = self._expression()
+                self.expect("op", ";")
+                init = ast.ExprStmt(line, expr)
+        else:
+            self.expect("op", ";")
+        cond = None if self.at("op", ";") else self._expression()
+        self.expect("op", ";")
+        step = None if self.at("op", ")") else self._expression()
+        self.expect("op", ")")
+        body = self._statement()
+        return ast.For(line, init, cond, step, body)
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def _expression(self) -> ast.Expr:
+        return self._assignment()
+
+    def _assignment(self) -> ast.Expr:
+        left = self._ternary()
+        tok = self.cur
+        if self.accept("op", "="):
+            value = self._assignment()
+            return ast.Assign(tok.line, left, value)
+        if tok.kind == "op" and tok.text in _COMPOUND_ASSIGN:
+            self.advance()
+            value = self._assignment()
+            op = _COMPOUND_ASSIGN[tok.text]
+            return ast.Assign(tok.line, left,
+                              ast.Binary(tok.line, op, left, value))
+        return left
+
+    def _ternary(self) -> ast.Expr:
+        cond = self._binary(0)
+        if self.at("op", "?"):
+            line = self.advance().line
+            then = self._assignment()
+            self.expect("op", ":")
+            els = self._assignment()
+            return ast.Ternary(line, cond, then, els)
+        return cond
+
+    def _binary(self, tier: int) -> ast.Expr:
+        if tier >= len(_BINARY_TIERS):
+            return self._unary()
+        left = self._binary(tier + 1)
+        ops = _BINARY_TIERS[tier]
+        while self.cur.kind == "op" and self.cur.text in ops:
+            tok = self.advance()
+            right = self._binary(tier + 1)
+            left = ast.Binary(tok.line, tok.text, left, right)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            raise ParseError(
+                "%s is not supported; write x = x %s 1 instead"
+                % (tok.text, tok.text[0]), tok.line)
+        if self.accept("op", "-"):
+            return ast.Unary(tok.line, "-", self._unary())
+        if self.accept("op", "!"):
+            return ast.Unary(tok.line, "!", self._unary())
+        if self.accept("op", "~"):
+            return ast.Unary(tok.line, "~", self._unary())
+        if self.accept("op", "*"):
+            return ast.Deref(tok.line, self._unary())
+        if self.accept("op", "&"):
+            return ast.AddrOf(tok.line, self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            tok = self.cur
+            if self.accept("op", "["):
+                index = self._expression()
+                self.expect("op", "]")
+                expr = ast.Index(tok.line, expr, index)
+            elif self.accept("op", "->"):
+                name = self.expect("ident").text
+                expr = ast.Field(tok.line, expr, name, arrow=True)
+            elif self.accept("op", "."):
+                name = self.expect("ident").text
+                expr = ast.Field(tok.line, expr, name, arrow=False)
+            elif tok.kind == "op" and tok.text in ("++", "--"):
+                raise ParseError(
+                    "%s is not supported; write x = x %s 1 instead"
+                    % (tok.text, tok.text[0]), tok.line)
+            else:
+                return expr
+
+    def _primary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind == "num":
+            self.advance()
+            return ast.Num(tok.line, int(tok.text, 0))
+        if self.accept("kw", "sizeof"):
+            self.expect("op", "(")
+            type_expr = self._type_expr()
+            self.expect("op", ")")
+            return ast.SizeOf(tok.line, type_expr)
+        if tok.kind == "ident":
+            self.advance()
+            if self.at("op", "("):
+                return self._call(tok)
+            return ast.Ident(tok.line, tok.text)
+        if self.accept("op", "("):
+            expr = self._expression()
+            self.expect("op", ")")
+            return expr
+        raise ParseError("unexpected token %r" % tok.text, tok.line)
+
+    def _call(self, name_tok: Token) -> ast.Call:
+        self.expect("op", "(")
+        args: List[ast.Expr] = []
+        if not self.at("op", ")"):
+            while True:
+                args.append(self._expression())
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        return ast.Call(name_tok.line, name_tok.text, args)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source text into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,169 @@
+"""MiniC pretty-printer (unparser) and structural AST comparison.
+
+:func:`pretty` renders an AST back to compilable MiniC source;
+:func:`ast_equal` compares two ASTs structurally (ignoring line numbers).
+Together they give the round-trip property ``parse(pretty(parse(s)))``
+structurally equal to ``parse(s)``, used heavily by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+_INDENT = "  "
+
+
+def pretty(program: ast.Program) -> str:
+    """Render a parsed program back to MiniC source text."""
+    chunks: List[str] = []
+    for decl in program.decls:
+        chunks.append(_decl(decl))
+    return "\n\n".join(chunks) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Declarations
+
+def _decl(node: ast.Node) -> str:
+    if isinstance(node, ast.StructDecl):
+        fields = "".join("%s%s %s;\n" % (_INDENT, _type(t), n)
+                         for (t, n) in node.fields)
+        return "struct %s {\n%s};" % (node.name, fields)
+    if isinstance(node, ast.ConstDecl):
+        return "const %s = %s;" % (node.name, _expr(node.value))
+    if isinstance(node, ast.GlobalDecl):
+        text = "%s %s" % (_type(node.type_expr), node.name)
+        if node.array_len is not None:
+            text += "[%s]" % _expr(node.array_len)
+        if node.init is not None:
+            text += " = %s" % _expr(node.init)
+        return text + ";"
+    if isinstance(node, ast.FuncDecl):
+        params = ", ".join("%s %s" % (_type(t), n)
+                           for (t, n) in node.params)
+        return "%s %s(%s) %s" % (_type(node.ret_type), node.name, params,
+                                 _block(node.body, 0))
+    raise TypeError("unknown declaration %r" % (node,))
+
+
+def _type(node: ast.TypeExpr) -> str:
+    base = "struct %s" % node.struct_name if node.base == "struct" \
+        else node.base
+    return base + "*" * node.stars
+
+
+# ----------------------------------------------------------------------
+# Statements
+
+def _block(node: ast.Block, depth: int) -> str:
+    inner = "".join(_INDENT * (depth + 1) + _stmt(s, depth + 1) + "\n"
+                    for s in node.stmts)
+    return "{\n%s%s}" % (inner, _INDENT * depth)
+
+
+def _stmt(node: ast.Stmt, depth: int) -> str:
+    if isinstance(node, ast.Block):
+        return _block(node, depth)
+    if isinstance(node, ast.VarDecl):
+        text = "%s %s" % (_type(node.type_expr), node.name)
+        if node.init is not None:
+            text += " = %s" % _expr(node.init)
+        return text + ";"
+    if isinstance(node, ast.If):
+        text = "if (%s) %s" % (_expr(node.cond), _stmt(node.then, depth))
+        if node.els is not None:
+            text += " else %s" % _stmt(node.els, depth)
+        return text
+    if isinstance(node, ast.While):
+        return "while (%s) %s" % (_expr(node.cond), _stmt(node.body, depth))
+    if isinstance(node, ast.For):
+        init = _stmt(node.init, depth) if node.init is not None else ";"
+        cond = _expr(node.cond) if node.cond is not None else ""
+        step = _expr(node.step) if node.step is not None else ""
+        return "for (%s %s; %s) %s" % (init, cond, step,
+                                       _stmt(node.body, depth))
+    if isinstance(node, ast.Return):
+        if node.value is None:
+            return "return;"
+        return "return %s;" % _expr(node.value)
+    if isinstance(node, ast.Break):
+        return "break;"
+    if isinstance(node, ast.Continue):
+        return "continue;"
+    if isinstance(node, ast.AssertStmt):
+        return "assert(%s);" % _expr(node.cond)
+    if isinstance(node, ast.ExprStmt):
+        return "%s;" % _expr(node.expr)
+    raise TypeError("unknown statement %r" % (node,))
+
+
+# ----------------------------------------------------------------------
+# Expressions (fully parenthesised: simple and always correct)
+
+def _expr(node: ast.Expr) -> str:
+    if isinstance(node, ast.Num):
+        return str(node.value)
+    if isinstance(node, ast.Ident):
+        return node.name
+    if isinstance(node, ast.Unary):
+        return "(%s%s)" % (node.op, _expr(node.operand))
+    if isinstance(node, ast.Binary):
+        return "(%s %s %s)" % (_expr(node.left), node.op, _expr(node.right))
+    if isinstance(node, ast.Ternary):
+        return "(%s ? %s : %s)" % (_expr(node.cond), _expr(node.then),
+                                   _expr(node.els))
+    if isinstance(node, ast.Assign):
+        # Parenthesised so a nested assignment, e.g. (a = b) + 1,
+        # round-trips with the right structure.
+        return "(%s = %s)" % (_expr(node.target), _expr(node.value))
+    if isinstance(node, ast.Call):
+        return "%s(%s)" % (node.name,
+                           ", ".join(_expr(a) for a in node.args))
+    if isinstance(node, ast.SizeOf):
+        return "sizeof(%s)" % _type(node.type_expr)
+    if isinstance(node, ast.Index):
+        return "%s[%s]" % (_expr(node.base), _expr(node.index))
+    if isinstance(node, ast.Field):
+        sep = "->" if node.arrow else "."
+        return "%s%s%s" % (_expr(node.base), sep, node.name)
+    if isinstance(node, ast.Deref):
+        return "(*%s)" % _expr(node.operand)
+    if isinstance(node, ast.AddrOf):
+        return "(&%s)" % _expr(node.operand)
+    raise TypeError("unknown expression %r" % (node,))
+
+
+# ----------------------------------------------------------------------
+# Structural comparison
+
+def ast_equal(a: ast.Node, b: ast.Node) -> bool:
+    """Structural equality of two AST nodes, ignoring source lines."""
+    if type(a) is not type(b):
+        return False
+    for slot in _all_slots(a):
+        if slot == "line":
+            continue
+        va = getattr(a, slot)
+        vb = getattr(b, slot)
+        if not _value_equal(va, vb):
+            return False
+    return True
+
+
+def _all_slots(node: ast.Node):
+    slots = []
+    for klass in type(node).__mro__:
+        slots.extend(getattr(klass, "__slots__", ()))
+    return slots
+
+
+def _value_equal(va, vb) -> bool:
+    if isinstance(va, ast.Node):
+        return isinstance(vb, ast.Node) and ast_equal(va, vb)
+    if isinstance(va, (list, tuple)):
+        if not isinstance(vb, (list, tuple)) or len(va) != len(vb):
+            return False
+        return all(_value_equal(xa, xb) for xa, xb in zip(va, vb))
+    return va == vb

@@ -1,0 +1,124 @@
+"""MiniC semantic types.
+
+Word-granular layout: ``int`` and every pointer occupy one shared-memory
+cell; structs occupy consecutive cells (one per scalar/pointer field);
+global arrays occupy ``count * elem.size`` cells.  ``sizeof`` is measured
+in cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class Type:
+    """Base class of MiniC semantic types."""
+
+    size = 1
+
+    def is_pointer(self) -> bool:
+        return False
+
+    def is_arithmetic(self) -> bool:
+        """Usable in arithmetic/conditions (ints and pointers both are —
+        MiniC is weakly typed like the C the paper's tool consumes)."""
+        return True
+
+
+class IntType(Type):
+    size = 1
+
+    def __repr__(self) -> str:
+        return "int"
+
+
+class VoidType(Type):
+    size = 0
+
+    def is_arithmetic(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+class PointerType(Type):
+    size = 1
+
+    def __init__(self, pointee: Type) -> None:
+        self.pointee = pointee
+
+    def is_pointer(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "%r*" % (self.pointee,)
+
+
+class StructField:
+    __slots__ = ("name", "type", "offset")
+
+    def __init__(self, name: str, type_: Type, offset: int) -> None:
+        self.name = name
+        self.type = type_
+        self.offset = offset
+
+
+class StructType(Type):
+    """A named struct; fields are laid out at consecutive cell offsets."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.fields: Dict[str, StructField] = {}
+        self.size = 0
+        self.complete = False
+
+    def add_field(self, name: str, type_: Type) -> None:
+        if name in self.fields:
+            raise ValueError("duplicate field %r in struct %s"
+                             % (name, self.name))
+        self.fields[name] = StructField(name, type_, self.size)
+        self.size += type_.size
+
+    def field(self, name: str) -> Optional[StructField]:
+        return self.fields.get(name)
+
+    def is_arithmetic(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "struct %s" % self.name
+
+
+class ArrayType(Type):
+    """A global array (arrays exist only at module scope in MiniC)."""
+
+    def __init__(self, elem: Type, count: int) -> None:
+        self.elem = elem
+        self.count = count
+        self.size = elem.size * count
+
+    def is_arithmetic(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "%r[%d]" % (self.elem, self.count)
+
+
+class FuncSig:
+    """A function signature: return type + parameter types."""
+
+    def __init__(self, name: str, ret: Type,
+                 params: List[Tuple[str, Type]]) -> None:
+        self.name = name
+        self.ret = ret
+        self.params = params
+
+    def __repr__(self) -> str:
+        return "%r %s(%s)" % (
+            self.ret, self.name, ", ".join(repr(t) for _n, t in self.params))
+
+
+#: Shared singletons.
+INT = IntType()
+VOID = VoidType()

@@ -1,0 +1,40 @@
+"""DIMACS CNF reading/writing (interoperability + test corpora)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
+    """Parse DIMACS CNF text; returns (num_vars, clauses)."""
+    num_vars = 0
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError("malformed problem line: %r" % line)
+            num_vars = int(parts[2])
+            continue
+        for tok in line.split():
+            lit = int(tok)
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        clauses.append(current)
+    return num_vars, clauses
+
+
+def format_dimacs(num_vars: int, clauses: List[List[int]]) -> str:
+    """Serialise clauses to DIMACS CNF text."""
+    lines = ["p cnf %d %d" % (num_vars, len(clauses))]
+    for clause in clauses:
+        lines.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"

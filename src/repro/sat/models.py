@@ -1,0 +1,87 @@
+"""Model enumeration and minimal-model selection.
+
+The synthesis engine needs a *minimal* satisfying assignment of the repair
+formula Φ (Algorithm 2): enabling as few ordering predicates — fences — as
+possible.  Following the paper, we obtain minimal solutions by repeatedly
+calling the solver, blocking each found solution, and keeping the
+cardinality-minimal ones.
+
+For the monotone (all-positive) formulas Φ produces, a found model is
+first *shrunk* by greedily dropping true variables while the formula stays
+satisfied, so every enumerated model is already inclusion-minimal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from .solver import SATSolver
+
+
+def shrink_model(clauses: Sequence[Sequence[int]],
+                 true_vars: FrozenSet[int]) -> FrozenSet[int]:
+    """Greedily remove true variables while all clauses stay satisfied.
+
+    Sound for any CNF whose satisfaction is monotone in the returned
+    variables (e.g. all-positive clauses).  Deterministic: variables are
+    tried in decreasing order.
+    """
+    current = set(true_vars)
+    for var in sorted(true_vars, reverse=True):
+        candidate = current - {var}
+        if _satisfies(clauses, candidate):
+            current = candidate
+    return frozenset(current)
+
+
+def _satisfies(clauses: Sequence[Sequence[int]], true_vars) -> bool:
+    for clause in clauses:
+        for lit in clause:
+            if (lit > 0 and lit in true_vars) or (lit < 0 and -lit not in true_vars):
+                break
+        else:
+            return False
+    return True
+
+
+def enumerate_minimal_models(clauses: Sequence[Sequence[int]],
+                             limit: int = 64) -> List[FrozenSet[int]]:
+    """Enumerate inclusion-minimal models of a monotone positive CNF.
+
+    Returns up to *limit* distinct minimal models (as frozensets of true
+    variables), found MiniSAT-style: solve, shrink, block, repeat.
+    """
+    solver = SATSolver()
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return []
+    models: List[FrozenSet[int]] = []
+    while len(models) < limit:
+        assignment = solver.solve()
+        if assignment is None:
+            break
+        true_vars = frozenset(v for v, val in assignment.items() if val)
+        minimal = shrink_model(clauses, true_vars)
+        if minimal not in models:
+            models.append(minimal)
+        # Block every superset of this minimal model: at least one of its
+        # variables must be false in any future model.
+        if not minimal:
+            break  # the empty model satisfies everything: done
+        if not solver.add_clause([-v for v in sorted(minimal)]):
+            break
+    return models
+
+
+def minimum_model(clauses: Sequence[Sequence[int]],
+                  limit: int = 64) -> Optional[FrozenSet[int]]:
+    """A cardinality-minimum model of a monotone positive CNF.
+
+    Among all enumerated inclusion-minimal models, pick the smallest;
+    ties break deterministically on the sorted variable tuple.  Returns
+    None when the formula is unsatisfiable.
+    """
+    models = enumerate_minimal_models(clauses, limit)
+    if not models:
+        return None
+    return min(models, key=lambda m: (len(m), tuple(sorted(m))))

@@ -1,0 +1,284 @@
+"""A from-scratch CDCL SAT solver (the reproduction's MiniSAT).
+
+Literals are non-zero ints in DIMACS convention: ``v`` for the positive
+literal of variable ``v`` (v >= 1), ``-v`` for its negation.  The solver
+implements the standard modern loop: two-watched-literal unit propagation,
+first-UIP conflict analysis with clause learning, non-chronological
+backjumping, and activity-based (VSIDS-style) decisions.
+
+The repair formulas the synthesis engine produces are tiny (tens of
+variables), so raw speed is irrelevant — but the solver is general and is
+tested against brute force on random instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+_UNASSIGNED = -1
+
+
+class SATSolver:
+    """An incremental CDCL solver over integer literals."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self._watches: Dict[int, List[int]] = {}
+        self._ok = True  # False once an empty clause was added
+
+        # Assignment state (rebuilt per solve() call).
+        self._value: List[int] = []      # var -> 0/1/_UNASSIGNED
+        self._level: List[int] = []      # var -> decision level
+        self._reason: List[Optional[int]] = []  # var -> clause index
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._activity: List[float] = []
+        self._act_inc = 1.0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable (1-based)."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def _ensure_vars(self, lits: Iterable[int]) -> None:
+        top = max((abs(l) for l in lits), default=0)
+        if top > self.num_vars:
+            self.num_vars = top
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT."""
+        lits = list(dict.fromkeys(int(l) for l in lits))  # dedupe, keep order
+        if any(l == 0 for l in lits):
+            raise ValueError("literal 0 is not allowed")
+        self._ensure_vars(lits)
+        if any(-l in lits for l in lits):
+            return self._ok  # tautology: skip
+        if not lits:
+            self._ok = False
+            return False
+        index = len(self.clauses)
+        self.clauses.append(lits)
+        self._watch(lits[0], index)
+        if len(lits) > 1:
+            self._watch(lits[1], index)
+        return self._ok
+
+    def _watch(self, lit: int, clause_index: int) -> None:
+        self._watches.setdefault(lit, []).append(clause_index)
+
+    # ------------------------------------------------------------------
+    # Assignment helpers
+
+    def _lit_value(self, lit: int) -> int:
+        v = self._value[abs(lit)]
+        if v == _UNASSIGNED:
+            return _UNASSIGNED
+        return v if lit > 0 else 1 - v
+
+    def _assign(self, lit: int, reason: Optional[int]) -> None:
+        var = abs(lit)
+        self._value[var] = 1 if lit > 0 else 0
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            falsified = -lit
+            watchers = self._watches.get(falsified, [])
+            i = 0
+            while i < len(watchers):
+                ci = watchers[i]
+                clause = self.clauses[ci]
+                # Make sure the falsified literal sits at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == 1:
+                    i += 1
+                    continue
+                # Look for a replacement watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        self._watch(clause[1], ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                if self._lit_value(first) == 0:
+                    return ci
+                self._assign(first, ci)
+                i += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+
+    def _analyze(self, conflict: int) -> (List[int], int):
+        learnt = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        clause = self.clauses[conflict]
+        trail_pos = len(self._trail) - 1
+        cur_level = len(self._trail_lim)
+
+        while True:
+            for q in clause:
+                if q == lit:
+                    continue
+                var = abs(q)
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self._level[var] == cur_level:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            # Find next literal to expand on the trail.
+            while not seen[abs(self._trail[trail_pos])]:
+                trail_pos -= 1
+            p = self._trail[trail_pos]
+            trail_pos -= 1
+            var = abs(p)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                learnt.insert(0, -p)
+                break
+            reason = self._reason[var]
+            clause = self.clauses[reason]
+            lit = p
+
+        if len(learnt) == 1:
+            return learnt, 0
+        back_level = max(self._level[abs(q)] for q in learnt[1:])
+        # Put a literal of back_level in position 1 for watching.
+        for k in range(1, len(learnt)):
+            if self._level[abs(learnt[k])] == back_level:
+                learnt[1], learnt[k] = learnt[k], learnt[1]
+                break
+        return learnt, back_level
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._act_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._act_inc *= 1e-100
+
+    def _backjump(self, level: int) -> None:
+        while len(self._trail_lim) > level:
+            mark = self._trail_lim.pop()
+            while len(self._trail) > mark:
+                lit = self._trail.pop()
+                var = abs(lit)
+                self._value[var] = _UNASSIGNED
+                self._reason[var] = None
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # Main loop
+
+    def solve(self, assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:
+        """Solve under optional assumption literals.
+
+        Returns ``{var: bool}`` for every variable on success, or None if
+        unsatisfiable (under the assumptions).
+        """
+        if not self._ok:
+            return None
+
+        n = self.num_vars
+        self._value = [_UNASSIGNED] * (n + 1)
+        self._level = [0] * (n + 1)
+        self._reason = [None] * (n + 1)
+        self._trail = []
+        self._trail_lim = []
+        self._qhead = 0
+        if len(self._activity) != n + 1:
+            self._activity = [0.0] * (n + 1)
+        self._act_inc = 1.0
+
+        # Re-watch: clause literal order may have changed across solves.
+        self._watches = {}
+        for ci, clause in enumerate(self.clauses):
+            self._watch(clause[0], ci)
+            if len(clause) > 1:
+                self._watch(clause[1], ci)
+            else:
+                if self._lit_value(clause[0]) == 0:
+                    return None
+                if self._lit_value(clause[0]) == _UNASSIGNED:
+                    self._assign(clause[0], ci)
+        if self._propagate() is not None:
+            return None
+
+        for lit in assumptions:
+            if self._lit_value(lit) == 1:
+                continue
+            if self._lit_value(lit) == 0:
+                return None
+            self._trail_lim.append(len(self._trail))
+            self._assign(lit, None)
+            if self._propagate() is not None:
+                return None
+        root_level = len(self._trail_lim)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                if len(self._trail_lim) == root_level:
+                    return None
+                learnt, back_level = self._analyze(conflict)
+                back_level = max(back_level, root_level)
+                self._backjump(back_level)
+                ci = len(self.clauses)
+                self.clauses.append(learnt)
+                self._watch(learnt[0], ci)
+                if len(learnt) > 1:
+                    self._watch(learnt[1], ci)
+                self._assign(learnt[0], ci if len(learnt) > 1 else None)
+                self._act_inc *= 1.05
+                continue
+
+            decision = self._pick_branch()
+            if decision == 0:
+                return {v: self._value[v] == 1 for v in range(1, n + 1)}
+            self._trail_lim.append(len(self._trail))
+            self._assign(decision, None)
+
+    def _pick_branch(self) -> int:
+        best_var = 0
+        best_act = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self._value[var] == _UNASSIGNED and self._activity[var] > best_act:
+                best_var = var
+                best_act = self._activity[var]
+        if best_var == 0:
+            return 0
+        return -best_var  # prefer False: good for minimal models downstream
+
+
+def solve_clauses(clauses: Iterable[Sequence[int]],
+                  assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:
+    """One-shot convenience: solve a clause list."""
+    solver = SATSolver()
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return None
+    return solver.solve(assumptions)

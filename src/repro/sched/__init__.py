@@ -1,0 +1,18 @@
+"""Scheduler plug-ins controlling thread interleaving and flushing.
+
+The paper's key exploration device is the *flush-delaying demonic
+scheduler* (:class:`FlushDelayScheduler`): it randomly interleaves threads
+and, whenever the selected thread has buffered stores, flushes with a
+user-supplied *flush probability* — low probabilities keep stores buffered
+long and expose relaxed behaviours, high probabilities approach SC.
+"""
+
+from .base import Scheduler
+from .exhaustive import ExplorationResult, explore
+from .flush_random import FlushDelayScheduler
+from .replay import ReplayScheduler, TracingScheduler, Witness
+from .round_robin import RoundRobinScheduler
+
+__all__ = ["ExplorationResult", "FlushDelayScheduler", "ReplayScheduler",
+           "RoundRobinScheduler", "Scheduler", "TracingScheduler",
+           "Witness", "explore"]

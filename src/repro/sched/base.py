@@ -1,0 +1,34 @@
+"""Scheduler interface.
+
+A scheduler drives a :class:`~repro.vm.interp.VM` to completion, deciding
+at each point which enabled thread steps and when buffered stores flush.
+Spec violations surface as exceptions out of :meth:`Scheduler.run`; the
+driver turns them into execution results.
+"""
+
+from __future__ import annotations
+
+from ..vm.errors import DeadlockError
+from ..vm.interp import VM
+
+
+class Scheduler:
+    """Base class for scheduler plug-ins."""
+
+    def run(self, vm: VM) -> None:
+        """Drive *vm* until every thread has finished.
+
+        Implementations must terminate the run by draining all remaining
+        buffers (so trailing buffered stores still hit the safety checker)
+        and must raise :class:`DeadlockError` when no thread can proceed.
+        """
+        raise NotImplementedError
+
+    def _finish(self, vm: VM) -> None:
+        vm.drain_all()
+
+    def _check_deadlock(self, vm: VM) -> None:
+        if not vm.all_finished():
+            raise DeadlockError(
+                "no enabled threads; statuses: %r"
+                % {tid: t.status.value for tid, t in vm.threads.items()})

@@ -1,0 +1,106 @@
+"""The flush-delaying demonic scheduler (paper §5.2).
+
+At each scheduling point:
+
+* an enabled thread is selected uniformly at random;
+* if the selected thread has buffered stores, the scheduler flushes one of
+  them with probability ``flush_prob`` (for PSO, choosing a random
+  per-variable buffer), otherwise the thread executes its next instruction;
+* partial-order reduction: once selected, a thread keeps running while its
+  next instruction only touches thread-local state (registers / control
+  flow), since such steps commute with every other thread.
+
+Low ``flush_prob`` keeps stores buffered for long stretches, exposing
+relaxed-memory violations; a value near 1.0 makes the run effectively SC.
+The paper's tuned defaults are ~0.1 for TSO and ~0.5 for PSO.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..ir import instructions as ins
+from ..vm.interp import VM
+from .base import Scheduler
+
+#: Cap on consecutive local steps, so register-only loops cannot starve
+#: the scheduler (real programs always reach a shared access or branch out).
+MAX_LOCAL_RUN = 64
+
+_LOCAL_OPS = (
+    ins.ConstInstr, ins.Mov, ins.BinOp, ins.UnOp,
+    ins.Br, ins.Cbr, ins.Nop, ins.SelfId, ins.AddrOf,
+)
+
+
+class FlushDelayScheduler(Scheduler):
+    """Random demonic scheduler with delayed flushing.
+
+    Args:
+        seed: RNG seed (every execution is reproducible from its seed).
+        flush_prob: probability of flushing (vs stepping) when the selected
+            thread has pending buffered stores.
+        por: enable the local-access partial-order reduction.
+    """
+
+    def __init__(self, seed: int = 0, flush_prob: float = 0.5,
+                 por: bool = True, trace=None) -> None:
+        if not 0.0 <= flush_prob <= 1.0:
+            raise ValueError("flush_prob must be in [0, 1]")
+        self.rng = random.Random(seed)
+        self.flush_prob = flush_prob
+        self.por = por
+        #: Optional list collecting ("step", tid) / ("flush", tid, addr)
+        #: events for deterministic replay (see repro.sched.replay).
+        self.trace = trace
+
+    def run(self, vm: VM) -> None:
+        rng = self.rng
+        while True:
+            enabled = vm.enabled_tids()
+            # Flushing is a memory-system action: any thread's buffers may
+            # flush, including threads blocked in join or already finished
+            # (otherwise a blocked producer could starve a spinning
+            # consumer forever).
+            pending = vm.tids_with_pending()
+            if not enabled:
+                if pending:
+                    self._flush_step(vm, pending[rng.randrange(len(pending))])
+                    continue
+                self._check_deadlock(vm)
+                self._finish(vm)
+                return
+            if pending and rng.random() < self.flush_prob:
+                self._flush_step(vm, pending[rng.randrange(len(pending))])
+                continue
+            tid = enabled[rng.randrange(len(enabled))] \
+                if len(enabled) > 1 else enabled[0]
+            self._step(vm, tid)
+            if self.por:
+                self._run_local(vm, tid)
+
+    def _step(self, vm: VM, tid: int) -> None:
+        if self.trace is not None:
+            self.trace.append(("step", tid))
+        vm.step(tid)
+
+    def _flush_step(self, vm: VM, tid: int) -> None:
+        addrs = vm.model.pending_addrs(tid)
+        if not addrs:
+            return
+        # PSO: pick a random per-variable buffer; TSO: pending_addrs lists
+        # the FIFO queue, whose head is the only flushable entry.
+        if vm.model.name == "pso":
+            addr: Optional[int] = addrs[self.rng.randrange(len(addrs))]
+        else:
+            addr = None
+        if vm.flush_one(tid, addr) and self.trace is not None:
+            self.trace.append(("flush", tid, addr))
+
+    def _run_local(self, vm: VM, tid: int) -> None:
+        for _ in range(MAX_LOCAL_RUN):
+            nxt = vm.peek(tid)
+            if nxt is None or not isinstance(nxt, _LOCAL_OPS):
+                return
+            self._step(vm, tid)

@@ -1,0 +1,99 @@
+"""Schedule recording and deterministic replay.
+
+A *trace* is the exact decision sequence of one execution — thread steps
+and flush actions.  :class:`TracingScheduler` wraps the flush-delaying
+scheduler and records the trace; :class:`ReplayScheduler` re-executes it
+choice for choice, reproducing the execution exactly (our VM is
+deterministic given the schedule).  This is the debugging workflow DFENCE
+enables implicitly through seeds, made explicit: a violating execution
+can be replayed, inspected, and re-checked after program edits that do
+not change the decision structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..vm.errors import DeadlockError
+from ..vm.interp import VM
+from .base import Scheduler
+from .flush_random import FlushDelayScheduler
+
+#: ("step", tid) or ("flush", tid, addr_or_None)
+TraceEvent = Tuple
+
+
+class TracingScheduler(FlushDelayScheduler):
+    """A flush-delaying scheduler that records every decision it makes.
+
+    The recorded trace includes the partial-order-reduction steps, so a
+    replay needs no knowledge of the POR policy.
+    """
+
+    def __init__(self, seed: int = 0, flush_prob: float = 0.5,
+                 por: bool = True) -> None:
+        super().__init__(seed=seed, flush_prob=flush_prob, por=por,
+                         trace=[])
+
+
+class ReplayScheduler(Scheduler):
+    """Re-executes a recorded trace, decision for decision.
+
+    After the trace is exhausted (e.g. the program under replay is
+    shorter), any remaining threads run round-robin with eager flushing
+    so the run still terminates.
+    """
+
+    def __init__(self, trace: List[TraceEvent]) -> None:
+        self.trace = list(trace)
+
+    def run(self, vm: VM) -> None:
+        for event in self.trace:
+            if event[0] == "step":
+                tid = event[1]
+                if tid in vm.enabled_tids():
+                    vm.step(tid)
+            else:
+                vm.flush_one(event[1], event[2])
+        # Tail: finish deterministically if the trace fell short.
+        guard = 0
+        while not vm.all_finished():
+            enabled = vm.enabled_tids()
+            if not enabled:
+                if vm.tids_with_pending():
+                    for tid in sorted(vm.tids_with_pending()):
+                        vm.flush_one(tid)
+                    continue
+                raise DeadlockError("replay tail cannot make progress")
+            for tid in sorted(enabled):
+                vm.step(tid)
+            guard += 1
+            if guard > vm.max_steps:
+                raise DeadlockError("replay tail did not terminate")
+        self._finish(vm)
+
+
+class Witness:
+    """A reproducible violating execution: entry point + scheduler seed.
+
+    Because every component is deterministic per seed, (entry, seed,
+    flush_prob) pins down the full execution; :meth:`reproduce` re-runs it.
+    """
+
+    def __init__(self, entry: str, seed: int, flush_prob: float,
+                 message: str) -> None:
+        self.entry = entry
+        self.seed = seed
+        self.flush_prob = flush_prob
+        self.message = message
+
+    def scheduler(self, record: bool = False) -> Scheduler:
+        if record:
+            return TracingScheduler(seed=self.seed,
+                                    flush_prob=self.flush_prob)
+        return FlushDelayScheduler(seed=self.seed,
+                                   flush_prob=self.flush_prob)
+
+    def __repr__(self) -> str:
+        return "<Witness %s seed=%d p=%.2f: %s>" % (
+            self.entry, self.seed, self.flush_prob, self.message[:60])

@@ -1,0 +1,42 @@
+"""Specifications and history checkers.
+
+The paper checks three properties: memory safety, operation-level
+sequential consistency, and linearizability — the latter two against
+executable sequential specifications of each algorithm.
+"""
+
+from .checker import find_witness, is_linearizable, is_sequentially_consistent
+from .quiescent import (
+    QuiescentConsistencySpec,
+    find_quiescent_witness,
+    is_quiescently_consistent,
+)
+from .sequential import (
+    EMPTY,
+    AllocatorSpec,
+    QueueSpec,
+    RegisterSpec,
+    SequentialSpec,
+    SetSpec,
+    StackSpec,
+    WSQDequeSpec,
+    WSQFifoSpec,
+    WSQLifoSpec,
+)
+from .specifications import (
+    GarbageFreeSpec,
+    LinearizabilitySpec,
+    MemorySafetySpec,
+    SequentialConsistencySpec,
+    Specification,
+)
+
+__all__ = [
+    "EMPTY", "AllocatorSpec", "GarbageFreeSpec", "LinearizabilitySpec",
+    "MemorySafetySpec", "QueueSpec", "RegisterSpec",
+    "SequentialConsistencySpec", "SequentialSpec", "SetSpec",
+    "QuiescentConsistencySpec", "Specification", "StackSpec",
+    "WSQDequeSpec", "WSQFifoSpec", "WSQLifoSpec", "find_quiescent_witness",
+    "find_witness", "is_linearizable", "is_quiescently_consistent",
+    "is_sequentially_consistent",
+]

@@ -1,0 +1,105 @@
+"""History checking: operation-level sequential consistency and
+linearizability.
+
+Both criteria ask for a *sequentialisation* of the concurrent history that
+the sequential specification accepts:
+
+* **sequential consistency** — the witness must respect each thread's
+  program order;
+* **linearizability** — additionally, the witness must respect real-time
+  order: if operation A returned before operation B was invoked, A comes
+  first.
+
+The search is the classical Wing & Gong backtracking over "which operation
+linearises next", memoised on (per-thread progress, spec state).  This is
+worst-case exponential in history length — the reason the paper keeps
+clients short — but with memoisation it is fast for the histories the
+clients here generate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..vm.events import History, Operation
+from .sequential import SequentialSpec
+
+
+def find_witness(history: History, spec: SequentialSpec,
+                 real_time: bool) -> Optional[List[Operation]]:
+    """Search for a legal sequentialisation of *history*.
+
+    Returns the witness order (list of operations) or None when no legal
+    sequentialisation exists.  ``real_time=True`` checks linearizability,
+    False checks operation-level sequential consistency.  Incomplete
+    operations (no response) are ignored: with the drivers here they only
+    occur in runs that already crashed for other reasons.
+    """
+    per_thread: List[List[Operation]] = []
+    for _tid, ops in sorted(history.by_thread().items()):
+        complete = [op for op in ops if op.complete]
+        if complete:
+            per_thread.append(complete)
+
+    total = sum(len(ops) for ops in per_thread)
+    if total == 0:
+        return []
+
+    failed = set()
+    witness: List[Operation] = []
+
+    def next_ret_floor(progress: Tuple[int, ...]) -> float:
+        """Smallest response time among not-yet-consumed operations.
+
+        Within a thread operations are serial, so the thread's *next*
+        unconsumed operation has the minimal ret_seq of that thread.
+        """
+        floor = float("inf")
+        for ti, ops in enumerate(per_thread):
+            i = progress[ti]
+            if i < len(ops) and ops[i].ret_seq < floor:
+                floor = ops[i].ret_seq
+        return floor
+
+    def search(progress: Tuple[int, ...], state) -> bool:
+        if len(witness) == total:
+            return True
+        key = (progress, state)
+        if key in failed:
+            return False
+        floor = next_ret_floor(progress) if real_time else None
+        for ti, ops in enumerate(per_thread):
+            i = progress[ti]
+            if i >= len(ops):
+                continue
+            op = ops[i]
+            if real_time and op.call_seq > floor:
+                # Some pending operation returned before this one started:
+                # it must be linearised first.
+                continue
+            ok, new_state = spec.apply(state, op.name, op.args, op.result)
+            if not ok:
+                continue
+            witness.append(op)
+            new_progress = progress[:ti] + (i + 1,) + progress[ti + 1:]
+            if search(new_progress, new_state):
+                return True
+            witness.pop()
+        failed.add(key)
+        return False
+
+    start = tuple(0 for _ in per_thread)
+    if search(start, spec.init()):
+        return list(witness)
+    return None
+
+
+def is_sequentially_consistent(history: History,
+                               spec: SequentialSpec) -> bool:
+    """Operation-level sequential consistency of *history* w.r.t. *spec*."""
+    return find_witness(history, spec, real_time=False) is not None
+
+
+def is_linearizable(history: History, spec: SequentialSpec) -> bool:
+    """Linearizability of *history* w.r.t. *spec*."""
+    return find_witness(history, spec, real_time=True) is not None

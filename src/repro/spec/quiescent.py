@@ -1,0 +1,111 @@
+"""Quiescent consistency — the third classic correctness criterion.
+
+The paper studies linearizability and operation-level sequential
+consistency, both from Herlihy & Shavit's taxonomy [14, Ch. 3.3-3.5]; the
+chapter's third criterion is *quiescent consistency*: method calls
+separated by a period of quiescence (no operation in flight) must take
+effect in their real-time order, but calls within the same busy period
+may be reordered arbitrarily — even against program order.
+
+Implementation: split the history into *epochs* at quiescent points, then
+search for a spec-legal order that is any permutation within epochs but
+never crosses them backwards.  QC is incomparable with SC (it drops
+program order, adds quiescence order) and strictly weaker than
+linearizability.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..vm.driver import ExecutionResult
+from ..vm.events import History, Operation
+from .checker import find_witness  # noqa: F401  (re-exported context)
+from .sequential import SequentialSpec
+from .specifications import Specification
+
+
+def assign_epochs(operations: List[Operation]) -> List[int]:
+    """Epoch index per operation (same order as the input list).
+
+    A new epoch starts at each quiescent point: a moment before an
+    invocation at which every earlier operation has already returned.
+    """
+    ops = sorted(operations, key=lambda op: op.call_seq)
+    epoch_of = {}
+    epoch = 0
+    busy_until = -1
+    for op in ops:
+        if op.call_seq > busy_until:
+            epoch += 1
+        epoch_of[id(op)] = epoch
+        busy_until = max(busy_until, op.ret_seq)
+    return [epoch_of[id(op)] for op in operations]
+
+
+def find_quiescent_witness(history: History, spec: SequentialSpec
+                           ) -> Optional[List[Operation]]:
+    """A spec-legal order respecting epoch boundaries, or None.
+
+    Within an epoch any permutation is allowed (quiescent consistency
+    does not preserve program order); across epochs the real-time order
+    of quiescent periods is fixed.
+    """
+    operations = [op for op in history.operations if op.complete]
+    if not operations:
+        return []
+    epochs = assign_epochs(operations)
+
+    order = sorted(range(len(operations)),
+                   key=lambda i: operations[i].call_seq)
+    witness: List[Operation] = []
+    failed = set()
+
+    def search(consumed: frozenset, state) -> bool:
+        if len(consumed) == len(operations):
+            return True
+        key = (consumed, state)
+        if key in failed:
+            return False
+        pending_epochs = [epochs[i] for i in order if i not in consumed]
+        floor = min(pending_epochs)
+        for i in order:
+            if i in consumed or epochs[i] != floor:
+                continue
+            op = operations[i]
+            ok, new_state = spec.apply(state, op.name, op.args, op.result)
+            if not ok:
+                continue
+            witness.append(op)
+            if search(consumed | {i}, new_state):
+                return True
+            witness.pop()
+        failed.add(key)
+        return False
+
+    if search(frozenset(), spec.init()):
+        return list(witness)
+    return None
+
+
+def is_quiescently_consistent(history: History,
+                              spec: SequentialSpec) -> bool:
+    return find_quiescent_witness(history, spec) is not None
+
+
+class QuiescentConsistencySpec(Specification):
+    """Memory safety + quiescent consistency of the history."""
+
+    name = "quiescent_consistency"
+
+    def __init__(self, spec: SequentialSpec) -> None:
+        self.spec = spec
+
+    def check(self, result: ExecutionResult) -> Optional[str]:
+        crash = self._crash(result)
+        if crash is not None:
+            return crash
+        if not is_quiescently_consistent(result.history, self.spec):
+            return ("history not quiescently consistent: %r"
+                    % (result.history.complete_ops(),))
+        return None

@@ -1,0 +1,210 @@
+"""Executable sequential specifications.
+
+SC/linearizability checking needs "a semantic sequential specification of
+the algorithm" (paper §5.2): a machine that says which operation results
+are legal in which order.  Specs are *pure*: ``init()`` produces a hashable
+state and ``apply(state, name, args, result)`` returns ``(ok, new_state)``
+without mutation, so the history checker can memoise and backtrack freely.
+
+A spec validates results rather than predicting them, which neatly handles
+nondeterministic-by-nature operations (e.g. ``malloc`` may legally return
+any fresh address).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+#: Conventional "nothing there" return value used by all the algorithms.
+EMPTY = -1
+
+
+class SequentialSpec:
+    """Base class for sequential specifications."""
+
+    #: Human-readable spec name.
+    name = "spec"
+
+    def init(self) -> Hashable:
+        """The initial abstract state."""
+        raise NotImplementedError
+
+    def apply(self, state: Hashable, name: str, args: Tuple[int, ...],
+              result: int) -> Tuple[bool, Hashable]:
+        """Check one operation against *state*.
+
+        Returns ``(ok, new_state)``; when ``ok`` is False the new state is
+        meaningless.
+        """
+        raise NotImplementedError
+
+
+class WSQDequeSpec(SequentialSpec):
+    """Work-stealing deque: put/take at the tail, steal at the head.
+
+    The sequential behaviour of the Chase-Lev queue, Cilk's THE queue and
+    the Anchor WSQ.  State: tuple of queued items, head on the left.
+    """
+
+    name = "wsq-deque"
+
+    def init(self):
+        return ()
+
+    def apply(self, state, name, args, result):
+        if name == "put":
+            return (True, state + (args[0],))
+        if name == "take":
+            if not state:
+                return (result == EMPTY, state)
+            return (result == state[-1], state[:-1])
+        if name == "steal":
+            if not state:
+                return (result == EMPTY, state)
+            return (result == state[0], state[1:])
+        return (False, state)
+
+
+class WSQFifoSpec(SequentialSpec):
+    """FIFO work-stealing queue: put at the tail, take *and* steal at the
+    head (the FIFO WSQ / FIFO iWSQ shape)."""
+
+    name = "wsq-fifo"
+
+    def init(self):
+        return ()
+
+    def apply(self, state, name, args, result):
+        if name == "put":
+            return (True, state + (args[0],))
+        if name in ("take", "steal"):
+            if not state:
+                return (result == EMPTY, state)
+            return (result == state[0], state[1:])
+        return (False, state)
+
+
+class WSQLifoSpec(SequentialSpec):
+    """LIFO work-stealing queue: put, take and steal all at the top."""
+
+    name = "wsq-lifo"
+
+    def init(self):
+        return ()
+
+    def apply(self, state, name, args, result):
+        if name == "put":
+            return (True, state + (args[0],))
+        if name in ("take", "steal"):
+            if not state:
+                return (result == EMPTY, state)
+            return (result == state[-1], state[:-1])
+        return (False, state)
+
+
+class QueueSpec(SequentialSpec):
+    """FIFO queue with enqueue/dequeue (MS2 and MSN queues)."""
+
+    name = "queue"
+
+    def init(self):
+        return ()
+
+    def apply(self, state, name, args, result):
+        if name == "enqueue":
+            return (True, state + (args[0],))
+        if name == "dequeue":
+            if not state:
+                return (result == EMPTY, state)
+            return (result == state[0], state[1:])
+        return (False, state)
+
+
+class StackSpec(SequentialSpec):
+    """LIFO stack with push/pop (Treiber-style examples)."""
+
+    name = "stack"
+
+    def init(self):
+        return ()
+
+    def apply(self, state, name, args, result):
+        if name == "push":
+            return (True, state + (args[0],))
+        if name == "pop":
+            if not state:
+                return (result == EMPTY, state)
+            return (result == state[-1], state[:-1])
+        return (False, state)
+
+
+class SetSpec(SequentialSpec):
+    """Integer set with add/remove/contains (LazyList, Harris).
+
+    add/remove return 1 on success and 0 when the element was already
+    present/absent; contains returns membership.
+    """
+
+    name = "set"
+
+    def init(self):
+        return frozenset()
+
+    def apply(self, state, name, args, result):
+        value = args[0]
+        if name == "add":
+            if value in state:
+                return (result == 0, state)
+            return (result == 1, state | {value})
+        if name == "remove":
+            if value not in state:
+                return (result == 0, state)
+            return (result == 1, state - {value})
+        if name == "contains":
+            return (result == int(value in state), state)
+        return (False, state)
+
+
+class AllocatorSpec(SequentialSpec):
+    """Memory allocator: malloc()/free(p).
+
+    A ``malloc`` may return any non-NULL address that is not currently
+    live (no double-handed-out blocks); ``free`` must target a live block.
+    State: frozenset of live block addresses.
+    """
+
+    name = "allocator"
+
+    def init(self):
+        return frozenset()
+
+    def apply(self, state, name, args, result):
+        if name == "malloc":
+            if result == 0 or result in state:
+                return (False, state)
+            return (True, state | {result})
+        if name == "free":
+            addr = args[0]
+            if addr not in state:
+                return (False, state)
+            return (True, state - {addr})
+        return (False, state)
+
+
+class RegisterSpec(SequentialSpec):
+    """A single atomic register: write(v) / read()->v (used in examples)."""
+
+    name = "register"
+
+    def __init__(self, initial: int = 0) -> None:
+        self.initial = initial
+
+    def init(self):
+        return self.initial
+
+    def apply(self, state, name, args, result):
+        if name == "write":
+            return (True, args[0])
+        if name == "read":
+            return (result == state, state)
+        return (False, state)

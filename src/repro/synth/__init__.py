@@ -1,0 +1,25 @@
+"""Dynamic fence synthesis (Algorithms 1 and 2 of the paper)."""
+
+from .enforce import (
+    CAS_DUMMY_GLOBAL,
+    FencePlacement,
+    enforce,
+    enforce_with_cas,
+    synthesized_fences,
+)
+from .engine import (
+    RoundReport,
+    SynthesisConfig,
+    SynthesisEngine,
+    SynthesisOutcome,
+    SynthesisResult,
+)
+from .formula import RepairFormula
+from .report import annotate_source, summarize
+
+__all__ = [
+    "CAS_DUMMY_GLOBAL", "FencePlacement", "RepairFormula", "RoundReport",
+    "SynthesisConfig", "SynthesisEngine", "SynthesisOutcome",
+    "SynthesisResult", "annotate_source", "enforce", "enforce_with_cas",
+    "summarize", "synthesized_fences",
+]

@@ -1,0 +1,260 @@
+"""The dynamic synthesis engine — Algorithm 1 of the paper.
+
+Round-based loop: run K executions under the flush-delaying scheduler;
+check each against the specification; accumulate ``avoid(p)`` clauses for
+the violating ones; when the round ends, enforce a minimal satisfying
+assignment of Φ as fences and reset Φ; terminate when a whole round
+exposes no violation (or a violating execution has no repairing predicate,
+the "cannot be fixed" abort).
+
+The paper's non-deterministic choice "?" of when to enforce is realised —
+as in DFENCE — by the executions-per-round count K.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from ..ir.module import Module
+from ..memory.models import make_model
+from ..sched.flush_random import FlushDelayScheduler
+from ..sched.replay import Witness
+from ..spec.specifications import Specification
+from ..vm.driver import run_execution
+from ..vm.interp import DEFAULT_MAX_STEPS
+from .enforce import FencePlacement, enforce, synthesized_fences
+from .formula import RepairFormula
+
+
+class SynthesisOutcome(enum.Enum):
+    CLEAN = "clean"             # a full round with no violations
+    CANNOT_FIX = "cannot_fix"   # violation with no repairing predicate
+    ROUND_LIMIT = "round_limit"  # max_rounds exhausted while still failing
+
+
+class SynthesisConfig:
+    """Tunable parameters of the engine (the paper's four dimensions)."""
+
+    def __init__(self, memory_model: str = "pso", flush_prob: float = 0.5,
+                 executions_per_round: int = 200, max_rounds: int = 12,
+                 seed: int = 0, max_steps: int = DEFAULT_MAX_STEPS,
+                 merge_fences: bool = True, por: bool = True,
+                 abort_on_unfixable: bool = False) -> None:
+        self.memory_model = memory_model
+        self.flush_prob = flush_prob
+        self.executions_per_round = executions_per_round
+        self.max_rounds = max_rounds
+        self.seed = seed
+        self.max_steps = max_steps
+        self.merge_fences = merge_fences
+        self.por = por
+        #: The paper's Algorithm 1 aborts on the first violating execution
+        #: whose avoid(p) is empty.  The default here is the softer policy:
+        #: count such executions and declare CANNOT_FIX only when a round's
+        #: violations are *all* unfixable (no repair clause to enforce) —
+        #: one blind-spot execution then cannot mask repairs that other
+        #: violating executions of the same round do expose.
+        self.abort_on_unfixable = abort_on_unfixable
+
+
+class RoundReport:
+    """What happened during one round of K executions."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.executions = 0
+        self.violations = 0
+        self.unfixable = 0           # violations with an empty avoid(p)
+        self.discarded = 0           # timeouts / deadlocks
+        self.distinct_predicates = 0
+        self.clauses = 0
+        self.inserted: List[FencePlacement] = []
+        self.example_violation: Optional[str] = None
+        #: Reproducible (entry, seed) records of violating executions
+        #: found this round (capped).
+        self.witnesses: List[Witness] = []
+
+    def __repr__(self) -> str:
+        return ("<Round %d: %d runs, %d violations, %d clauses, "
+                "%d fences inserted>" % (
+                    self.index, self.executions, self.violations,
+                    self.clauses, len(self.inserted)))
+
+
+class SynthesisResult:
+    """Outcome of a synthesis run."""
+
+    def __init__(self, program: Module, outcome: SynthesisOutcome,
+                 rounds: List[RoundReport],
+                 placements: List[FencePlacement]) -> None:
+        self.program = program
+        self.outcome = outcome
+        self.rounds = rounds
+        self.placements = placements
+
+    @property
+    def total_executions(self) -> int:
+        return sum(r.executions for r in self.rounds)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(r.violations for r in self.rounds)
+
+    @property
+    def fence_count(self) -> int:
+        return len(synthesized_fences(self.program))
+
+    @property
+    def witnesses(self) -> List[Witness]:
+        """Reproducible violating executions from every round."""
+        return [w for r in self.rounds for w in r.witnesses]
+
+    def fence_locations(self) -> List[str]:
+        """Paper-style (method, line1:line2) strings, sorted."""
+        return sorted("%s/%s" % (p.location(), p.kind.value)
+                      for p in self.placements)
+
+    def __repr__(self) -> str:
+        return "<SynthesisResult %s: %d fences after %d rounds, %d runs>" % (
+            self.outcome.value, self.fence_count, len(self.rounds),
+            self.total_executions)
+
+
+class SynthesisEngine:
+    """Runs Algorithm 1 for one program/spec/model combination."""
+
+    def __init__(self, config: SynthesisConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+
+    def synthesize(self, program: Module, spec: Specification,
+                   entries: Sequence[str] = ("main",),
+                   operations: Sequence[str] = ()) -> SynthesisResult:
+        """Infer fences for *program* against *spec*.
+
+        The input module is cloned; the returned result holds the repaired
+        program.  ``entries`` lists the client entry functions (executions
+        rotate through them, broadening coverage); ``operations`` names the
+        functions recorded in histories.
+        """
+        cfg = self.config
+        module = program.clone()
+        model = make_model(cfg.memory_model)
+        rounds: List[RoundReport] = []
+        placements: List[FencePlacement] = []
+        exec_counter = 0
+
+        for round_index in range(cfg.max_rounds):
+            report = RoundReport(round_index)
+            rounds.append(report)
+            formula = RepairFormula()
+
+            for _ in range(cfg.executions_per_round):
+                entry = entries[exec_counter % len(entries)]
+                seed = cfg.seed + exec_counter
+                exec_counter += 1
+                scheduler = FlushDelayScheduler(
+                    seed=seed, flush_prob=cfg.flush_prob, por=cfg.por)
+                result = run_execution(
+                    module, model, scheduler, entry=entry,
+                    operations=operations, max_steps=cfg.max_steps)
+                report.executions += 1
+                if not result.usable:
+                    report.discarded += 1
+                    continue
+                message = spec.check(result)
+                if message is None:
+                    continue
+                report.violations += 1
+                if report.example_violation is None:
+                    report.example_violation = message
+                if len(report.witnesses) < 5:
+                    report.witnesses.append(
+                        Witness(entry, seed, cfg.flush_prob, message))
+                if not formula.add_execution(result.predicates):
+                    # avoid(p) is empty: no pending-store bypass occurred,
+                    # so the predicate formalism offers no repair for this
+                    # particular execution.
+                    report.unfixable += 1
+                    if cfg.abort_on_unfixable:
+                        report.clauses = formula.num_clauses
+                        return SynthesisResult(
+                            module, SynthesisOutcome.CANNOT_FIX, rounds,
+                            self._surviving(module, placements))
+
+            report.clauses = formula.num_clauses
+            report.distinct_predicates = formula.num_predicates
+
+            if report.violations == 0:
+                return SynthesisResult(
+                    module, SynthesisOutcome.CLEAN, rounds,
+                    self._surviving(module, placements))
+
+            if formula.num_clauses == 0:
+                # Every violation this round was unfixable: the property
+                # fails independently of memory-model reordering (e.g. the
+                # algorithm itself is not linearizable).
+                return SynthesisResult(
+                    module, SynthesisOutcome.CANNOT_FIX, rounds,
+                    self._surviving(module, placements))
+
+            repair = formula.minimal_repair()
+            if repair is None:
+                return SynthesisResult(
+                    module, SynthesisOutcome.CANNOT_FIX, rounds,
+                    self._surviving(module, placements))
+            inserted = enforce(module, repair, merge=cfg.merge_fences)
+            report.inserted = inserted
+            placements.extend(inserted)
+
+        return SynthesisResult(module, SynthesisOutcome.ROUND_LIMIT, rounds,
+                               self._surviving(module, placements))
+
+    # ------------------------------------------------------------------
+
+    def test_program(self, program: Module, spec: Specification,
+                     entries: Sequence[str] = ("main",),
+                     operations: Sequence[str] = (),
+                     executions: Optional[int] = None
+                     ) -> Tuple[int, int, Optional[str]]:
+        """Check-only mode: run executions without repairing.
+
+        Returns ``(runs, violations, example_message)`` — used both to
+        validate repaired programs and to test properties under SC (e.g.
+        the paper's finding that Cilk's THE queue is not linearizable even
+        without memory-model effects).
+        """
+        cfg = self.config
+        module = program  # no mutation in check-only mode
+        model = make_model(cfg.memory_model)
+        runs = executions if executions is not None \
+            else cfg.executions_per_round
+        violations = 0
+        example: Optional[str] = None
+        for i in range(runs):
+            entry = entries[i % len(entries)]
+            scheduler = FlushDelayScheduler(
+                seed=cfg.seed + i, flush_prob=cfg.flush_prob, por=cfg.por)
+            result = run_execution(module, model, scheduler, entry=entry,
+                                   operations=operations,
+                                   max_steps=cfg.max_steps)
+            if not result.usable:
+                continue
+            message = spec.check(result)
+            if message is not None:
+                violations += 1
+                if example is None:
+                    example = message
+        return runs, violations, example
+
+    @staticmethod
+    def _surviving(module: Module,
+                   placements: List[FencePlacement]) -> List[FencePlacement]:
+        """Placements whose fence is still in the module (merge may have
+        removed earlier-round fences)."""
+        from .enforce import _fence_still_present
+
+        return [placement for placement in placements
+                if _fence_still_present(module, placement.fence_label)]

@@ -1,0 +1,91 @@
+"""The repair formula Φ.
+
+Each violating execution ``p`` contributes the clause ``avoid(p)`` — the
+disjunction of the ordering predicates violated by ``p`` (any one of them,
+enforced as a fence, eliminates ``p``).  Φ is the conjunction of these
+clauses over all violating executions gathered in the current round.
+
+Predicates map to SAT variables; a minimal satisfying assignment of Φ is a
+smallest predicate set repairing every gathered execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..ir.instructions import FenceKind
+from ..memory.predicates import OrderingPredicate, merge_kinds
+from ..sat.models import minimum_model
+
+
+class RepairFormula:
+    """Accumulates avoid-clauses and extracts minimal repairs."""
+
+    def __init__(self) -> None:
+        self._var_of_key: Dict[Tuple[int, int], int] = {}
+        self._pred_of_var: Dict[int, OrderingPredicate] = {}
+        self._clauses: List[List[int]] = []
+        self._clause_set: Set[FrozenSet[int]] = set()
+
+    # ------------------------------------------------------------------
+
+    def _var(self, pred: OrderingPredicate) -> int:
+        var = self._var_of_key.get(pred.key)
+        if var is None:
+            var = len(self._var_of_key) + 1
+            self._var_of_key[pred.key] = var
+            self._pred_of_var[var] = OrderingPredicate(
+                pred.store_label, pred.access_label, pred.kind)
+        else:
+            known = self._pred_of_var[var]
+            known.kind = merge_kinds(known.kind, pred.kind)
+        return var
+
+    def add_execution(self, predicates: Sequence[OrderingPredicate]) -> bool:
+        """Add ``avoid(p)`` for one violating execution.
+
+        Returns False when the execution has no repairing predicate at all
+        — the paper's "cannot be fixed" abort condition (the violation is
+        not caused by memory-model reordering).
+        """
+        if not predicates:
+            return False
+        clause = sorted(self._var(pred) for pred in predicates)
+        key = frozenset(clause)
+        if key not in self._clause_set:
+            self._clause_set.add(key)
+            self._clauses.append(clause)
+        return True
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def num_predicates(self) -> int:
+        return len(self._var_of_key)
+
+    def predicates(self) -> List[OrderingPredicate]:
+        """Every predicate currently mentioned by the formula."""
+        return [self._pred_of_var[v] for v in sorted(self._pred_of_var)]
+
+    def minimal_repair(self) -> Optional[List[OrderingPredicate]]:
+        """A cardinality-minimal predicate set satisfying Φ.
+
+        None if Φ is unsatisfiable (cannot happen for non-empty positive
+        clauses) or empty if there is nothing to repair.
+        """
+        if not self._clauses:
+            return []
+        model = minimum_model(self._clauses)
+        if model is None:
+            return None
+        return [self._pred_of_var[v] for v in sorted(model)]
+
+    def reset(self) -> None:
+        """Drop accumulated clauses (Φ := true after each enforcement),
+        keeping the predicate/variable identification stable."""
+        self._clauses = []
+        self._clause_set = set()

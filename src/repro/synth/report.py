@@ -1,0 +1,78 @@
+"""Human-readable synthesis reports.
+
+Turns a :class:`~repro.synth.engine.SynthesisResult` into:
+
+* an annotated copy of the MiniC source, with a ``// >>> fence`` comment
+  line after every source line that received a synthesized fence — the
+  closest analogue of DFENCE writing fences back into the bytecode;
+* a round-by-round textual summary of the engine's progress.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from ..ir.instructions import FenceKind
+from .engine import SynthesisResult
+
+_KIND_NAMES = {
+    FenceKind.FULL: "full fence",
+    FenceKind.ST_ST: "store-store fence",
+    FenceKind.ST_LD: "store-load fence",
+}
+
+
+def annotate_source(result: SynthesisResult) -> str:
+    """The program's MiniC source with fence annotations inserted.
+
+    Every synthesized fence becomes a ``// >>> ...`` comment line right
+    after the source line of the store it orders.  Raises ``ValueError``
+    when the module was built without source (IR-level programs).
+    """
+    source = result.program.source
+    if source is None:
+        raise ValueError("module has no MiniC source to annotate")
+
+    by_line: Dict[int, List[str]] = defaultdict(list)
+    for placement in result.placements:
+        if placement.after_line is None:
+            continue
+        by_line[placement.after_line].append(
+            "// >>> %s synthesized here (in %s, from %r)"
+            % (_KIND_NAMES[placement.kind], placement.function,
+               placement.predicate))
+
+    lines = []
+    for number, line in enumerate(source.splitlines(), start=1):
+        lines.append(line)
+        indent = line[:len(line) - len(line.lstrip())]
+        for note in by_line.get(number, ()):
+            lines.append(indent + note)
+    return "\n".join(lines)
+
+
+def summarize(result: SynthesisResult) -> str:
+    """A round-by-round account of the synthesis run."""
+    lines = [
+        "synthesis outcome: %s" % result.outcome.value,
+        "total executions: %d across %d round(s)"
+        % (result.total_executions, len(result.rounds)),
+        "fences in final program: %d" % result.fence_count,
+    ]
+    for report in result.rounds:
+        lines.append(
+            "  round %d: %d runs, %d violations (%d unfixable, "
+            "%d discarded), %d clauses over %d predicates, "
+            "%d fences inserted"
+            % (report.index, report.executions, report.violations,
+               report.unfixable, report.discarded, report.clauses,
+               report.distinct_predicates, len(report.inserted)))
+        if report.example_violation:
+            lines.append("    e.g. %s" % report.example_violation[:120])
+    if result.placements:
+        lines.append("fences:")
+        for placement in result.placements:
+            lines.append("  %s %s" % (placement.location(),
+                                      placement.kind.value))
+    return "\n".join(lines)

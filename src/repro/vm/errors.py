@@ -1,0 +1,49 @@
+"""Execution-time error conditions raised by the VM.
+
+:class:`MemorySafetyViolation` and :class:`AssertionViolation` are
+*specification* violations — the synthesis engine treats executions raising
+them as bad and repairs the program.  The remaining errors are execution
+infrastructure conditions (step budget exhausted, real deadlock, malformed
+programs) and are reported, not repaired.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class VMError(Exception):
+    """Base class for all VM-raised conditions."""
+
+
+class SpecViolationError(VMError):
+    """Base class for violations the engine is expected to repair."""
+
+    def __init__(self, message: str, tid: Optional[int] = None,
+                 label: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.tid = tid
+        self.label = label
+
+
+class MemorySafetyViolation(SpecViolationError):
+    """Out-of-bounds / freed / null shared-memory access (load, CAS or a
+    store *flush*, per the paper's checking points)."""
+
+
+class AssertionViolation(SpecViolationError):
+    """A MiniC ``assert`` evaluated to zero."""
+
+
+class StepLimitExceeded(VMError):
+    """The execution ran past its step budget (e.g. livelocked CAS loops
+    under an unlucky schedule); the driver discards such runs."""
+
+
+class DeadlockError(VMError):
+    """No thread is runnable but not all threads have finished."""
+
+
+class InterpreterError(VMError):
+    """Malformed program reached the interpreter (verifier should have
+    caught it) or an internal invariant broke."""

@@ -1,0 +1,379 @@
+"""The DIR interpreter — the reproduction's version of the extended lli.
+
+One :class:`VM` instance executes one program run.  The VM performs the
+*thread* steps; the *memory-system* steps (flushes) are driven externally
+by a scheduler, which also chooses which thread steps next.  This mirrors
+the paper's architecture where the scheduler plug-in controls both thread
+interleaving and flushing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..ir import instructions as ins
+from ..ir.module import Module
+from ..ir.operands import Const, Reg, Sym
+from ..memory.models import StoreBufferModel
+from ..memory.predicates import PredicateSink
+from .errors import (
+    AssertionViolation,
+    InterpreterError,
+    StepLimitExceeded,
+)
+from .events import History
+from .heap import SharedMemory
+from .state import Frame, Thread, ThreadStatus
+
+#: Default per-execution step budget.
+DEFAULT_MAX_STEPS = 200_000
+
+
+class VM:
+    """A single execution of a DIR module under a memory model.
+
+    Args:
+        module: the program.
+        model: a fresh (or reset) memory model instance.
+        entry: name of the function the main thread starts in.
+        entry_args: integer arguments for the entry function.
+        operations: names of functions whose calls/returns are recorded in
+            the execution history for specification checking.
+        sink: optional predicate sink (instrumented semantics).
+        max_steps: step budget to cut off livelocked schedules.
+    """
+
+    def __init__(self, module: Module, model: StoreBufferModel,
+                 entry: str = "main", entry_args: Sequence[int] = (),
+                 operations: Iterable[str] = (),
+                 sink: Optional[PredicateSink] = None,
+                 max_steps: int = DEFAULT_MAX_STEPS,
+                 coverage: Optional[set] = None) -> None:
+        self.module = module
+        self.model = model
+        self.memory = SharedMemory(module)
+        self.operations = frozenset(operations)
+        self.history = History()
+        self.max_steps = max_steps
+        self.steps = 0
+        self.seq = 0
+        #: Optional set collecting the labels of executed instructions
+        #: (client-coverage measurement, paper section 6.4).
+        self.coverage = coverage
+
+        model.reset()
+        model.attach(self._commit, sink)
+
+        self.threads: Dict[int, Thread] = {}
+        self._next_tid = 0
+        self._spawn(entry, [int(a) for a in entry_args])
+
+    # ------------------------------------------------------------------
+    # Thread management
+
+    def _spawn(self, fn_name: str, args: List[int]) -> int:
+        fn = self.module.function(fn_name)
+        if len(args) != len(fn.params):
+            raise InterpreterError(
+                "spawn of %s with %d args (expects %d)"
+                % (fn_name, len(args), len(fn.params)))
+        tid = self._next_tid
+        self._next_tid += 1
+        thread = Thread(tid)
+        frame = Frame(fn)
+        for param, value in zip(fn.params, args):
+            frame.regs[param] = value
+        thread.frames.append(frame)
+        self.threads[tid] = thread
+        return tid
+
+    def enabled_tids(self) -> List[int]:
+        """Threads that can take a step right now.
+
+        A thread blocked on join becomes enabled once its target finishes
+        (the join step itself then drains the target's buffers).
+        """
+        enabled = []
+        for tid, thread in self.threads.items():
+            if thread.status is ThreadStatus.RUNNABLE:
+                enabled.append(tid)
+            elif thread.status is ThreadStatus.BLOCKED_JOIN:
+                target = self.threads.get(thread.join_target)
+                if target is not None and target.finished:
+                    enabled.append(tid)
+        return enabled
+
+    def all_finished(self) -> bool:
+        return all(t.finished for t in self.threads.values())
+
+    def tids_with_pending(self) -> List[int]:
+        """Threads (running or finished) with buffered stores to flush."""
+        return [tid for tid in self.threads if self.model.has_pending(tid)]
+
+    def peek(self, tid: int) -> Optional[ins.Instr]:
+        """The instruction the thread would execute next (None if blocked
+        or finished) — used by the scheduler's partial-order reduction."""
+        thread = self.threads[tid]
+        if thread.status is not ThreadStatus.RUNNABLE or not thread.frames:
+            return None
+        frame = thread.top
+        return frame.fn.body[frame.ip]
+
+    # ------------------------------------------------------------------
+    # Memory plumbing
+
+    def _commit(self, tid: int, addr: int, value: int, label: int) -> None:
+        """Write a flushed store to shared memory (safety check included:
+        the paper checks addresses when a flush occurs)."""
+        self.memory.check(addr, "store flush", tid, label)
+        self.memory.write(addr, value)
+
+    def flush_one(self, tid: int, addr: Optional[int] = None) -> bool:
+        """Commit one buffered store of *tid* (scheduler action)."""
+        return self.model.flush_one(tid, addr)
+
+    def drain_all(self) -> None:
+        """Flush every remaining buffer (end of execution), oldest first."""
+        for tid in sorted(self.threads):
+            self.model.drain(tid)
+
+    # ------------------------------------------------------------------
+    # Value evaluation
+
+    def _value(self, operand, frame: Frame) -> int:
+        if isinstance(operand, Reg):
+            return frame.regs.get(operand.name, 0)
+        if isinstance(operand, Const):
+            return operand.value
+        if isinstance(operand, Sym):
+            return self.memory.global_addr[operand.name]
+        raise InterpreterError("bad operand %r" % (operand,))
+
+    def _addr(self, operand, frame: Frame) -> int:
+        """Evaluate an address operand (Sym resolves to global base)."""
+        return self._value(operand, frame)
+
+    # ------------------------------------------------------------------
+    # Stepping
+
+    def step(self, tid: int) -> None:
+        """Execute one instruction of thread *tid*."""
+        thread = self.threads[tid]
+        if thread.status is ThreadStatus.FINISHED:
+            raise InterpreterError("stepping finished thread %d" % tid)
+
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise StepLimitExceeded(
+                "execution exceeded %d steps" % self.max_steps)
+        self.seq += 1
+
+        if thread.status is ThreadStatus.BLOCKED_JOIN:
+            self._complete_join(thread)
+            return
+
+        frame = thread.top
+        instr = frame.fn.body[frame.ip]
+        if self.coverage is not None:
+            self.coverage.add(instr.label)
+        self._dispatch(thread, frame, instr)
+
+    def _complete_join(self, thread: Thread) -> None:
+        target = self.threads.get(thread.join_target)
+        if target is None or not target.finished:
+            raise InterpreterError(
+                "join completion on unfinished thread %r" % thread.join_target)
+        # JOIN rule: the joined thread's buffers must be empty; draining
+        # them here is the demonic-scheduler-compatible equivalent.
+        self.model.drain(target.tid)
+        thread.status = ThreadStatus.RUNNABLE
+        thread.join_target = None
+        thread.top.ip += 1
+
+    # ------------------------------------------------------------------
+    # Instruction dispatch
+
+    def _dispatch(self, thread: Thread, frame: Frame, instr: ins.Instr) -> None:
+        tid = thread.tid
+
+        if isinstance(instr, ins.ConstInstr):
+            frame.regs[instr.dst.name] = instr.value
+            frame.ip += 1
+        elif isinstance(instr, ins.Mov):
+            frame.regs[instr.dst.name] = self._value(instr.src, frame)
+            frame.ip += 1
+        elif isinstance(instr, ins.BinOp):
+            a = self._value(instr.a, frame)
+            b = self._value(instr.b, frame)
+            frame.regs[instr.dst.name] = _apply_binop(instr.binop, a, b)
+            frame.ip += 1
+        elif isinstance(instr, ins.UnOp):
+            a = self._value(instr.a, frame)
+            frame.regs[instr.dst.name] = _apply_unop(instr.unop, a)
+            frame.ip += 1
+        elif isinstance(instr, ins.Load):
+            addr = self._addr(instr.addr, frame)
+            self.memory.check(addr, "load", tid, instr.label)
+            hit, value = self.model.read(tid, addr, instr.label)
+            if not hit:
+                value = self.memory.read(addr)
+            frame.regs[instr.dst.name] = value
+            frame.ip += 1
+        elif isinstance(instr, ins.Store):
+            addr = self._addr(instr.addr, frame)
+            value = self._value(instr.src, frame)
+            self.model.write(tid, addr, value, instr.label)
+            frame.ip += 1
+        elif isinstance(instr, ins.Cas):
+            addr = self._addr(instr.addr, frame)
+            expected = self._value(instr.expected, frame)
+            new = self._value(instr.new, frame)
+            self.model.pre_cas(tid, addr, instr.label)
+            self.memory.check(addr, "cas", tid, instr.label)
+            if self.memory.read(addr) == expected:
+                self.memory.write(addr, new)
+                frame.regs[instr.dst.name] = 1
+            else:
+                frame.regs[instr.dst.name] = 0
+            frame.ip += 1
+        elif isinstance(instr, ins.Fence):
+            self.model.fence(tid, instr.kind)
+            frame.ip += 1
+        elif isinstance(instr, ins.Br):
+            frame.ip = frame.fn.index_of(instr.target)
+        elif isinstance(instr, ins.Cbr):
+            cond = self._value(instr.cond, frame)
+            target = instr.then_target if cond else instr.else_target
+            frame.ip = frame.fn.index_of(target)
+        elif isinstance(instr, ins.Call):
+            self._do_call(thread, frame, instr)
+        elif isinstance(instr, ins.Ret):
+            self._do_ret(thread, frame, instr)
+        elif isinstance(instr, ins.Fork):
+            args = [self._value(a, frame) for a in instr.args]
+            # Thread creation is a full fence (pthread_create
+            # synchronises-with the start of the new thread), so the
+            # parent's buffered stores are visible to the child.
+            self.model.drain(tid)
+            child = self._spawn(instr.fn, args)
+            if instr.dst is not None:
+                frame.regs[instr.dst.name] = child
+            frame.ip += 1
+        elif isinstance(instr, ins.Join):
+            target_tid = self._value(instr.tid, frame)
+            target = self.threads.get(target_tid)
+            if target is None:
+                raise InterpreterError("join on unknown thread %d" % target_tid)
+            if target.finished:
+                self.model.drain(target_tid)
+                frame.ip += 1
+            else:
+                thread.status = ThreadStatus.BLOCKED_JOIN
+                thread.join_target = target_tid
+        elif isinstance(instr, ins.SelfId):
+            frame.regs[instr.dst.name] = tid
+            frame.ip += 1
+        elif isinstance(instr, ins.PageAlloc):
+            size = self._value(instr.size, frame)
+            frame.regs[instr.dst.name] = self.memory.pagealloc(size)
+            frame.ip += 1
+        elif isinstance(instr, ins.PageFree):
+            addr = self._value(instr.addr, frame)
+            self.memory.pagefree(addr)
+            frame.ip += 1
+        elif isinstance(instr, ins.AddrOf):
+            frame.regs[instr.dst.name] = self.memory.global_addr[instr.sym.name]
+            frame.ip += 1
+        elif isinstance(instr, ins.Assert):
+            if not self._value(instr.cond, frame):
+                raise AssertionViolation(
+                    instr.message or "assertion failed",
+                    tid=tid, label=instr.label)
+            frame.ip += 1
+        elif isinstance(instr, ins.Nop):
+            frame.ip += 1
+        else:
+            raise InterpreterError("unknown instruction %r" % (instr,))
+
+    def _do_call(self, thread: Thread, frame: Frame, instr: ins.Call) -> None:
+        callee = self.module.function(instr.fn)
+        args = [self._value(a, frame) for a in instr.args]
+        record = None
+        if instr.fn in self.operations:
+            record = self.history.begin(thread.tid, instr.fn, args, self.seq)
+        new_frame = Frame(callee, ret_dst=instr.dst, op_record=record)
+        for param, value in zip(callee.params, args):
+            new_frame.regs[param] = value
+        thread.frames.append(new_frame)
+
+    def _do_ret(self, thread: Thread, frame: Frame, instr: ins.Ret) -> None:
+        value = self._value(instr.value, frame) if instr.value is not None else 0
+        if frame.op_record is not None:
+            frame.op_record.result = value
+            frame.op_record.ret_seq = self.seq
+        thread.frames.pop()
+        if not thread.frames:
+            thread.status = ThreadStatus.FINISHED
+            thread.result = value
+            return
+        caller = thread.top
+        call_instr = caller.fn.body[caller.ip]
+        if frame.ret_dst is not None:
+            caller.regs[frame.ret_dst.name] = value
+        caller.ip += 1
+        del call_instr  # caller ip advanced past the call
+
+
+# ----------------------------------------------------------------------
+# Operator evaluation (C-like semantics on Python ints)
+
+def _apply_binop(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        if b == 0:
+            raise InterpreterError("division by zero")
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    if op == "mod":
+        if b == 0:
+            raise InterpreterError("modulo by zero")
+        q = abs(a) % abs(b)
+        return q if a >= 0 else -q
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return a << b
+    if op == "shr":
+        return a >> b
+    if op == "eq":
+        return int(a == b)
+    if op == "ne":
+        return int(a != b)
+    if op == "lt":
+        return int(a < b)
+    if op == "le":
+        return int(a <= b)
+    if op == "gt":
+        return int(a > b)
+    if op == "ge":
+        return int(a >= b)
+    raise InterpreterError("unknown binary operator %r" % op)
+
+
+def _apply_unop(op: str, a: int) -> int:
+    if op == "neg":
+        return -a
+    if op == "not":
+        return int(a == 0)
+    if op == "bnot":
+        return ~a
+    raise InterpreterError("unknown unary operator %r" % op)

@@ -1,0 +1,63 @@
+"""Thread and frame state for the interpreter.
+
+Mirrors the paper's ``ThreadStacks`` extension of lli: every thread owns a
+list of execution contexts (frames); a thread is *enabled* while its frame
+list is non-empty, and ``join`` completes only once the target's list is
+empty (and, per the JOIN rule, its store buffers are drained).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from ..ir.function import Function
+from .events import Operation
+
+
+class ThreadStatus(enum.Enum):
+    RUNNABLE = "runnable"
+    BLOCKED_JOIN = "blocked_join"
+    FINISHED = "finished"
+
+
+class Frame:
+    """One activation record: function, registers, instruction pointer."""
+
+    __slots__ = ("fn", "regs", "ip", "ret_dst", "op_record")
+
+    def __init__(self, fn: Function, ret_dst=None,
+                 op_record: Optional[Operation] = None) -> None:
+        self.fn = fn
+        self.regs: Dict[str, int] = {}
+        self.ip = 0                     # index into fn.body
+        self.ret_dst = ret_dst          # register in the caller's frame
+        self.op_record = op_record      # history record to complete on return
+
+    def __repr__(self) -> str:
+        return "<Frame %s ip=%d>" % (self.fn.name, self.ip)
+
+
+class Thread:
+    """A VM thread: a stack of frames plus scheduling status."""
+
+    __slots__ = ("tid", "frames", "status", "join_target", "result")
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.frames: List[Frame] = []
+        self.status = ThreadStatus.RUNNABLE
+        self.join_target: Optional[int] = None
+        self.result: Optional[int] = None
+
+    @property
+    def top(self) -> Frame:
+        return self.frames[-1]
+
+    @property
+    def finished(self) -> bool:
+        return self.status is ThreadStatus.FINISHED
+
+    def __repr__(self) -> str:
+        return "<Thread %d %s depth=%d>" % (
+            self.tid, self.status.value, len(self.frames))

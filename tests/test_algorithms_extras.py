@@ -1,0 +1,109 @@
+"""Tests for the extra (beyond-Table-2) algorithm bundles."""
+
+import pytest
+
+from repro.algorithms import ALGORITHMS, DEKKER, PETERSON, TREIBER_STACK
+from repro.synth import SynthesisConfig, SynthesisEngine, SynthesisOutcome
+
+
+def synthesize(bundle, model, kind=None, k=500, seed=7, max_steps=200000):
+    kind = kind or bundle.supports[-1]
+    config = SynthesisConfig(
+        memory_model=model, flush_prob=bundle.flush_prob[model],
+        executions_per_round=k, max_rounds=12, seed=seed,
+        max_steps=max_steps)
+    engine = SynthesisEngine(config)
+    return engine.synthesize(bundle.compile(), bundle.spec(kind),
+                             entries=bundle.entries,
+                             operations=bundle.operations)
+
+
+def check_sc(bundle, kind=None, runs=300):
+    kind = kind or bundle.supports[-1]
+    engine = SynthesisEngine(SynthesisConfig(
+        memory_model="sc", executions_per_round=runs, seed=19))
+    return engine.test_program(bundle.compile(), bundle.spec(kind),
+                               entries=bundle.entries,
+                               operations=bundle.operations)
+
+
+class TestRegistry:
+    def test_extras_not_in_table2(self):
+        for name in ("dekker", "peterson", "treiber_stack"):
+            assert name not in ALGORITHMS
+
+
+@pytest.mark.parametrize("bundle", [DEKKER, PETERSON, TREIBER_STACK],
+                         ids=lambda b: b.name)
+class TestSequentialConsistencyBaseline:
+    def test_correct_under_sc(self, bundle):
+        _runs, violations, example = check_sc(bundle)
+        assert violations == 0, example
+
+
+@pytest.fixture(scope="module")
+def dekker_tso():
+    # Dekker's retry-path fence is rare: it needs K=1000, and a tight
+    # step cap discards the long spin-heavy schedules (the paper's
+    # per-execution timeout) which otherwise dominate wall time.
+    return synthesize(DEKKER, "tso", k=1000, seed=7, max_steps=5000)
+
+
+class TestDekker:
+    def test_tso_needs_store_load_fences_in_both_entries(self, dekker_tso):
+        assert dekker_tso.outcome is SynthesisOutcome.CLEAN
+        functions = {p.function for p in dekker_tso.placements}
+        assert {"enter0", "enter1"} <= functions
+        kinds = {p.kind.value for p in dekker_tso.placements}
+        assert kinds <= {"st_ld", "full"}
+
+    def test_repaired_dekker_is_mutual_exclusive(self, dekker_tso):
+        engine = SynthesisEngine(SynthesisConfig(
+            memory_model="tso", flush_prob=0.1, seed=404,
+            max_steps=5000))
+        unfenced_engine = SynthesisEngine(SynthesisConfig(
+            memory_model="tso", flush_prob=0.1, seed=404,
+            max_steps=5000))
+        _r, before, _ = unfenced_engine.test_program(
+            DEKKER.compile(), DEKKER.spec("memory_safety"),
+            entries=DEKKER.entries, executions=600)
+        _r, after, example = engine.test_program(
+            dekker_tso.program, DEKKER.spec("memory_safety"),
+            entries=DEKKER.entries, executions=600)
+        assert before > 0
+        assert after == 0, example
+
+
+class TestPeterson:
+    def test_tso_fences_in_both_entries(self):
+        result = synthesize(PETERSON, "tso", max_steps=5000)
+        assert result.outcome is SynthesisOutcome.CLEAN
+        functions = {p.function for p in result.placements}
+        assert {"enter0", "enter1"} <= functions
+
+    def test_violations_exist_without_fences(self):
+        engine = SynthesisEngine(SynthesisConfig(
+            memory_model="tso", flush_prob=0.1, seed=7,
+            max_steps=5000))
+        _runs, violations, _ = engine.test_program(
+            PETERSON.compile(), PETERSON.spec("memory_safety"),
+            entries=PETERSON.entries, executions=600)
+        assert violations > 0
+
+
+class TestTreiberStack:
+    def test_fence_free_on_tso(self):
+        result = synthesize(TREIBER_STACK, "tso")
+        assert result.outcome is SynthesisOutcome.CLEAN
+        assert result.fence_count == 0
+
+    def test_push_fence_on_pso(self):
+        result = synthesize(TREIBER_STACK, "pso")
+        assert result.outcome is SynthesisOutcome.CLEAN
+        assert any(p.function == "push" for p in result.placements)
+
+    def test_lin_and_sc_agree_here(self):
+        sc = synthesize(TREIBER_STACK, "pso", kind="sc")
+        lin = synthesize(TREIBER_STACK, "pso", kind="lin")
+        assert {p.function for p in sc.placements} == \
+            {p.function for p in lin.placements}

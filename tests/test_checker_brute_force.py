@@ -1,0 +1,176 @@
+"""Cross-validation of the history checker against brute force.
+
+For small random histories, compare :func:`find_witness` with a direct
+enumeration of all permutations (filtered by program order and, for
+linearizability, real-time order).  Any disagreement is a checker bug;
+none are expected.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec import EMPTY, QueueSpec, RegisterSpec, SetSpec
+from repro.spec.checker import find_witness
+from repro.vm.events import History
+
+
+def brute_force_witness_exists(ops, spec, real_time):
+    """Ground truth by permutation enumeration.
+
+    ``ops`` are (tid, name, args, result, call_seq, ret_seq) tuples.
+    """
+    indexed = list(enumerate(ops))
+    for perm in itertools.permutations(indexed):
+        # Program order per thread.
+        ok = True
+        last_pos = {}
+        for order, (i, op) in enumerate(perm):
+            tid = op[0]
+            if tid in last_pos and last_pos[tid] > i:
+                ok = False
+                break
+            last_pos[tid] = i
+        if not ok:
+            continue
+        # Real-time order.
+        if real_time:
+            for (pos_a, (ia, a)), (pos_b, (ib, b)) in \
+                    itertools.combinations(enumerate(perm), 2):
+                # a before b in the permutation; illegal if b really
+                # finished before a started.
+                if b[5] < a[4]:
+                    ok = False
+                    break
+            if not ok:
+                continue
+        # Spec legality.
+        state = spec.init()
+        for (_i, (tid, name, args, result, _c, _r)) in perm:
+            legal, state = spec.apply(state, name, tuple(args), result)
+            if not legal:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def to_history(ops):
+    h = History()
+    for (tid, name, args, result, call_seq, ret_seq) in ops:
+        op = h.begin(tid, name, tuple(args), call_seq)
+        op.result = result
+        op.ret_seq = ret_seq
+    return h
+
+
+@st.composite
+def register_histories(draw, max_ops=5):
+    """Random register histories: overlapping reads/writes with results
+    that may or may not be legal."""
+    n = draw(st.integers(min_value=1, max_value=max_ops))
+    ops = []
+    for i in range(n):
+        tid = draw(st.integers(min_value=0, max_value=1))
+        call = draw(st.integers(min_value=0, max_value=20))
+        ret = call + draw(st.integers(min_value=1, max_value=10))
+        if draw(st.booleans()):
+            ops.append((tid, "write", (draw(st.integers(1, 3)),), 0,
+                        call, ret))
+        else:
+            ops.append((tid, "read", (), draw(st.integers(0, 3)),
+                        call, ret))
+    # Per-thread ops must be serial: re-assign call/ret per thread order.
+    ops.sort(key=lambda o: o[4])
+    seq = 0
+    fixed = []
+    last_ret = {}
+    for (tid, name, args, result, _c, _r) in ops:
+        call = max(seq, last_ret.get(tid, 0) + 1)
+        ret = call + draw(st.integers(min_value=1, max_value=5))
+        last_ret[tid] = ret
+        seq = call + 1
+        fixed.append((tid, name, args, result, call, ret))
+    return fixed
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=register_histories())
+def test_register_checker_matches_brute_force(ops):
+    spec = RegisterSpec()
+    for real_time in (False, True):
+        got = find_witness(to_history(ops), spec, real_time) is not None
+        want = brute_force_witness_exists(ops, spec, real_time)
+        assert got == want, (ops, real_time)
+
+
+@st.composite
+def queue_histories(draw, max_ops=5):
+    n = draw(st.integers(min_value=1, max_value=max_ops))
+    ops = []
+    last_ret = {}
+    seq = 0
+    for i in range(n):
+        tid = draw(st.integers(min_value=0, max_value=1))
+        call = max(seq, last_ret.get(tid, 0) + 1)
+        ret = call + draw(st.integers(min_value=1, max_value=5))
+        last_ret[tid] = ret
+        seq = call + 1
+        if draw(st.booleans()):
+            ops.append((tid, "enqueue", (draw(st.integers(1, 3)),), 0,
+                        call, ret))
+        else:
+            result = draw(st.sampled_from([EMPTY, 1, 2, 3]))
+            ops.append((tid, "dequeue", (), result, call, ret))
+    return ops
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=queue_histories())
+def test_queue_checker_matches_brute_force(ops):
+    spec = QueueSpec()
+    for real_time in (False, True):
+        got = find_witness(to_history(ops), spec, real_time) is not None
+        want = brute_force_witness_exists(ops, spec, real_time)
+        assert got == want, (ops, real_time)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=queue_histories(max_ops=4))
+def test_linearizable_implies_sequentially_consistent(ops):
+    spec = QueueSpec()
+    lin = find_witness(to_history(ops), spec, real_time=True)
+    if lin is not None:
+        sc = find_witness(to_history(ops), spec, real_time=False)
+        assert sc is not None
+
+
+@st.composite
+def set_histories(draw, max_ops=5):
+    n = draw(st.integers(min_value=1, max_value=max_ops))
+    ops = []
+    last_ret = {}
+    seq = 0
+    for i in range(n):
+        tid = draw(st.integers(min_value=0, max_value=1))
+        call = max(seq, last_ret.get(tid, 0) + 1)
+        ret = call + draw(st.integers(min_value=1, max_value=5))
+        last_ret[tid] = ret
+        seq = call + 1
+        name = draw(st.sampled_from(["add", "remove", "contains"]))
+        value = draw(st.integers(min_value=1, max_value=2))
+        result = draw(st.integers(min_value=0, max_value=1))
+        ops.append((tid, name, (value,), result, call, ret))
+    return ops
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=set_histories())
+def test_set_checker_matches_brute_force(ops):
+    spec = SetSpec()
+    for real_time in (False, True):
+        got = find_witness(to_history(ops), spec, real_time) is not None
+        want = brute_force_witness_exists(ops, spec, real_time)
+        assert got == want, (ops, real_time)

@@ -1,0 +1,86 @@
+"""Tests for the random client generator and engine fuzzing."""
+
+import pytest
+
+from repro.algorithms import ALGORITHMS
+from repro.clientgen import FAMILIES, generate_clients
+from repro.synth import SynthesisConfig, SynthesisEngine, SynthesisOutcome
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_generated_clients_compile(self, name):
+        generated = generate_clients(ALGORITHMS[name], count=3, seed=1)
+        for entry in generated.entries:
+            assert entry in generated.module.functions
+
+    def test_deterministic_per_seed(self):
+        a = generate_clients(ALGORITHMS["chase_lev"], seed=5)
+        b = generate_clients(ALGORITHMS["chase_lev"], seed=5)
+        assert a.source == b.source
+
+    def test_different_seeds_differ(self):
+        a = generate_clients(ALGORITHMS["chase_lev"], seed=5)
+        b = generate_clients(ALGORITHMS["chase_lev"], seed=6)
+        assert a.source != b.source
+
+    def test_unique_values_for_mutators(self):
+        generated = generate_clients(ALGORITHMS["chase_lev"], count=4,
+                                     seed=2)
+        import re
+        values = re.findall(r"put\((\d+)\)", generated.source)
+        assert len(values) == len(set(values))
+
+    def test_owner_only_ops_stay_out_of_workers(self):
+        generated = generate_clients(ALGORITHMS["chase_lev"], count=5,
+                                     seed=3)
+        for chunk in generated.source.split("// ---- generated")[1] \
+                .split("int fuzz_client")[0].split("void fuzz_worker"):
+            assert "put(" not in chunk.split("}")[0]
+
+    def test_allocator_not_generatable(self):
+        with pytest.raises(ValueError):
+            generate_clients(ALGORITHMS["michael_allocator"])
+
+
+class TestFuzzedCorrectness:
+    @pytest.mark.parametrize("name", ["chase_lev", "msn_queue",
+                                      "lazy_list"])
+    def test_generated_clients_clean_under_sc(self, name):
+        bundle = ALGORITHMS[name]
+        generated = generate_clients(bundle, count=4, seed=11)
+        engine = SynthesisEngine(SynthesisConfig(
+            memory_model="sc", executions_per_round=200, seed=4))
+        _runs, violations, example = engine.test_program(
+            generated.module, bundle.spec(bundle.supports[-1]),
+            entries=generated.entries, operations=bundle.operations)
+        assert violations == 0, example
+
+    def test_fuzzed_synthesis_finds_the_put_fence(self):
+        # The core Chase-Lev PSO fence must be found regardless of which
+        # random clients drive the engine.
+        bundle = ALGORITHMS["chase_lev"]
+        found_put = 0
+        for seed in (1, 2, 3):
+            generated = generate_clients(bundle, count=4, seed=seed,
+                                         ops_per_side=3)
+            engine = SynthesisEngine(SynthesisConfig(
+                memory_model="pso", flush_prob=0.2,
+                executions_per_round=500, max_rounds=10, seed=7))
+            result = engine.synthesize(
+                generated.module, bundle.spec("sc"),
+                entries=generated.entries, operations=bundle.operations)
+            if any(p.function == "put" for p in result.placements):
+                found_put += 1
+        assert found_put >= 2
+
+    def test_fuzzed_repair_converges(self):
+        bundle = ALGORITHMS["msn_queue"]
+        generated = generate_clients(bundle, count=4, seed=9)
+        engine = SynthesisEngine(SynthesisConfig(
+            memory_model="pso", flush_prob=0.2,
+            executions_per_round=500, max_rounds=12, seed=5))
+        result = engine.synthesize(
+            generated.module, bundle.spec("sc"),
+            entries=generated.entries, operations=bundle.operations)
+        assert result.outcome is SynthesisOutcome.CLEAN

@@ -1,0 +1,163 @@
+"""Detailed engine-behaviour tests (rotation, policies, caps, rounds)."""
+
+import pytest
+
+from repro.minic import compile_source
+from repro.spec import MemorySafetySpec
+from repro.synth import SynthesisConfig, SynthesisEngine, SynthesisOutcome
+
+MP_ASSERT = """
+int DATA;
+int FLAG;
+
+void reader() {
+  while (FLAG == 0) {}
+  assert(DATA == 1);
+}
+
+int main() {
+  int t = fork(reader);
+  DATA = 1;
+  FLAG = 1;
+  join(t);
+  return 0;
+}
+"""
+
+TWO_ENTRIES = """
+int HIT0; int HIT1;
+int clientA() { HIT0 = HIT0 + 1; return 0; }
+int clientB() { HIT1 = HIT1 + 1; return 0; }
+"""
+
+
+def engine(model="pso", **kw):
+    defaults = dict(flush_prob=0.3, executions_per_round=200, seed=3)
+    defaults.update(kw)
+    return SynthesisEngine(SynthesisConfig(memory_model=model, **defaults))
+
+
+class TestEntryRotation:
+    def test_all_entries_exercised(self):
+        module = compile_source(TWO_ENTRIES)
+        eng = engine(executions_per_round=10)
+        runs, violations, _ = eng.test_program(
+            module, MemorySafetySpec(),
+            entries=("clientA", "clientB"), executions=10)
+        assert runs == 10
+        assert violations == 0
+
+    def test_single_entry_default(self):
+        module = compile_source("int main() { return 0; }")
+        eng = engine()
+        runs, violations, _ = eng.test_program(module, MemorySafetySpec(),
+                                               executions=5)
+        assert runs == 5
+
+
+class TestWitnessCap:
+    def test_at_most_five_witnesses_per_round(self):
+        module = compile_source("int main() { assert(0); return 0; }")
+        eng = engine(executions_per_round=50, max_rounds=1)
+        result = eng.synthesize(module, MemorySafetySpec())
+        assert result.rounds[0].violations == 50
+        assert len(result.rounds[0].witnesses) == 5
+
+
+class TestPolicies:
+    def test_soft_policy_fixes_despite_unfixable_mix(self):
+        # A program with both a fixable relaxed-memory bug and no way to
+        # mask it: the soft policy should still repair the fixable part.
+        module = compile_source(MP_ASSERT)
+        eng = engine(abort_on_unfixable=False)
+        result = eng.synthesize(module, MemorySafetySpec())
+        assert result.outcome is SynthesisOutcome.CLEAN
+
+    def test_flush_prob_one_sees_no_relaxed_behaviour(self):
+        module = compile_source(MP_ASSERT)
+        eng = engine(flush_prob=1.0, executions_per_round=300)
+        result = eng.synthesize(module, MemorySafetySpec())
+        # Eager flushing = effectively SC: nothing to find.
+        assert result.outcome is SynthesisOutcome.CLEAN
+        assert result.fence_count == 0
+
+    def test_flush_prob_zero_buffers_forever(self):
+        # With probability 0 nothing flushes until a CAS/join forces it;
+        # in the Dekker litmus both loads then read 0 in every schedule.
+        # (A spin-loop client would livelock instead: the reader could
+        # wait forever for a flush that never comes.)
+        sb = """
+        int X; int Y; int r1; int r2;
+        void t1() { X = 1; r1 = Y; }
+        int main() {
+          int t = fork(t1);
+          Y = 1;
+          r2 = X;
+          join(t);
+          assert(r1 == 1 || r2 == 1);
+          return 0;
+        }
+        """
+        module = compile_source(sb)
+        eng = engine(model="tso", flush_prob=0.0,
+                     executions_per_round=100)
+        result = eng.synthesize(module, MemorySafetySpec())
+        assert result.outcome is SynthesisOutcome.CLEAN
+        assert result.rounds[0].violations > 0
+
+    def test_merge_disabled_keeps_all_insertions(self):
+        module = compile_source(MP_ASSERT)
+        merged = engine(merge_fences=True).synthesize(
+            module, MemorySafetySpec())
+        unmerged = engine(merge_fences=False).synthesize(
+            module, MemorySafetySpec())
+        assert unmerged.fence_count >= merged.fence_count
+
+
+class TestResultAccounting:
+    def test_placements_survive_in_program(self):
+        module = compile_source(MP_ASSERT)
+        result = engine().synthesize(module, MemorySafetySpec())
+        for placement in result.placements:
+            fn, instr = result.program.find_instr(placement.fence_label)
+            assert instr.op == "fence"
+            assert fn.name == placement.function
+
+    def test_original_module_untouched(self):
+        module = compile_source(MP_ASSERT)
+        before = module.instruction_count()
+        result = engine().synthesize(module, MemorySafetySpec())
+        assert module.instruction_count() == before
+        assert result.program is not module
+
+    def test_total_violations_property(self):
+        module = compile_source(MP_ASSERT)
+        result = engine().synthesize(module, MemorySafetySpec())
+        assert result.total_violations == sum(
+            r.violations for r in result.rounds)
+
+    def test_repr_mentions_outcome(self):
+        module = compile_source("int main() { return 0; }")
+        result = engine(executions_per_round=5).synthesize(
+            module, MemorySafetySpec())
+        assert "clean" in repr(result)
+        assert "Round 0" in repr(result.rounds[0])
+
+
+class TestConvergence:
+    def test_second_synthesis_on_repaired_program_is_immediately_clean(self):
+        module = compile_source(MP_ASSERT)
+        first = engine().synthesize(module, MemorySafetySpec())
+        assert first.outcome is SynthesisOutcome.CLEAN
+        second = engine(seed=999).synthesize(first.program,
+                                             MemorySafetySpec())
+        assert second.outcome is SynthesisOutcome.CLEAN
+        assert len(second.rounds) == 1
+        assert second.rounds[0].violations == 0
+
+    def test_idempotent_fence_set(self):
+        module = compile_source(MP_ASSERT)
+        first = engine().synthesize(module, MemorySafetySpec())
+        second = engine(seed=999).synthesize(first.program,
+                                             MemorySafetySpec())
+        assert second.fence_count == first.fence_count

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs to completion."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, argv=()):
+    path = os.path.join(EXAMPLES_DIR, name)
+    old_argv = sys.argv
+    sys.argv = [path] + list(argv)
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Chase-Lev" in out
+    assert "synthesized fences" in out
+
+
+def test_custom_algorithm(capsys):
+    run_example("custom_algorithm.py")
+    out = capsys.readouterr().out
+    assert "fence (push" in out
+    assert "0 violations" in out
+
+
+def test_spec_comparison(capsys):
+    run_example("spec_comparison.py", ["lifo_wsq"])
+    out = capsys.readouterr().out
+    assert "lifo_wsq" in out
+    assert "tso" in out and "pso" in out
+
+
+def test_memory_model_explorer(capsys):
+    run_example("memory_model_explorer.py")
+    out = capsys.readouterr().out
+    assert "relaxed behaviour" in out
+    assert "Summary" in out
+
+
+def test_exhaustive_litmus(capsys):
+    run_example("exhaustive_litmus.py")
+    out = capsys.readouterr().out
+    assert "SB / Dekker" in out
+    assert "exact" in out
+
+
+def test_full_workflow(capsys):
+    run_example("full_workflow.py")
+    out = capsys.readouterr().out
+    assert "witness replay" in out
+    assert "repaired program : ok" in out

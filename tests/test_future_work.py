@@ -1,0 +1,65 @@
+"""Tests for the paper's section 6.6 future-work experiment.
+
+Pointer payloads freed on fetch turn duplicated tasks into double frees,
+making plain memory safety as strong as the SC specification for fence
+inference on the Chase-Lev queue.
+"""
+
+import pytest
+
+from repro.algorithms import ALGORITHMS, CHASE_LEV_PTR
+from repro.synth import SynthesisConfig, SynthesisEngine, SynthesisOutcome
+
+
+def synthesize(model, seed=7, k=600):
+    config = SynthesisConfig(
+        memory_model=model, flush_prob=CHASE_LEV_PTR.flush_prob[model],
+        executions_per_round=k, max_rounds=10, seed=seed)
+    engine = SynthesisEngine(config)
+    return engine.synthesize(
+        CHASE_LEV_PTR.compile(), CHASE_LEV_PTR.spec("memory_safety"),
+        entries=CHASE_LEV_PTR.entries, operations=CHASE_LEV_PTR.operations)
+
+
+def test_not_part_of_the_table2_registry():
+    assert "chase_lev_ptr" not in ALGORITHMS
+    assert len(ALGORITHMS) == 13
+
+
+def test_clean_under_sc_model():
+    engine = SynthesisEngine(SynthesisConfig(
+        memory_model="sc", executions_per_round=300, seed=5))
+    _runs, violations, example = engine.test_program(
+        CHASE_LEV_PTR.compile(), CHASE_LEV_PTR.spec("memory_safety"),
+        entries=CHASE_LEV_PTR.entries,
+        operations=CHASE_LEV_PTR.operations)
+    assert violations == 0, example
+
+
+def test_memory_safety_now_finds_f1_on_tso():
+    # Plain Chase-Lev: memory safety finds nothing (Table 3).  With the
+    # pointer clients, the duplicate-return bug crashes, and the take
+    # fence (F1) is inferred from memory safety alone.
+    result = synthesize("tso")
+    assert result.outcome is SynthesisOutcome.CLEAN
+    assert any(p.function == "take" for p in result.placements)
+
+
+def test_memory_safety_now_finds_put_fence_on_pso():
+    result = synthesize("pso")
+    assert result.outcome is SynthesisOutcome.CLEAN
+    functions = {p.function for p in result.placements}
+    assert "take" in functions
+    assert "put" in functions
+
+
+def test_violations_are_double_frees():
+    config = SynthesisConfig(memory_model="tso", flush_prob=0.1,
+                             executions_per_round=600, seed=7)
+    engine = SynthesisEngine(config)
+    _runs, violations, example = engine.test_program(
+        CHASE_LEV_PTR.compile(), CHASE_LEV_PTR.spec("memory_safety"),
+        entries=CHASE_LEV_PTR.entries,
+        operations=CHASE_LEV_PTR.operations)
+    assert violations > 0
+    assert "not a live region base" in example or "freed" in example

@@ -1,0 +1,46 @@
+"""Tests of the top-level ``repro.infer_fences`` convenience API."""
+
+import pytest
+
+import repro
+from repro import infer_fences
+from repro.synth import SynthesisOutcome
+
+
+class TestInferFences:
+    def test_default_pipeline(self):
+        result = infer_fences("lifo_wsq", memory_model="pso", spec="sc",
+                              executions_per_round=300, seed=7)
+        assert result.outcome is SynthesisOutcome.CLEAN
+        assert any("(put" in loc for loc in result.fence_locations())
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            infer_fences("nonexistent")
+
+    def test_flush_prob_defaults_to_bundle_tuning(self):
+        # TSO tuning is 0.1 for every bundle; the call must not crash and
+        # must use the bundle entries (several clients per round).
+        result = infer_fences("ms2_queue", memory_model="tso",
+                              spec="memory_safety",
+                              executions_per_round=60, seed=1)
+        assert result.total_executions == 60
+        assert result.fence_count == 0
+
+    def test_explicit_flush_prob_override(self):
+        result = infer_fences("ms2_queue", memory_model="pso",
+                              spec="memory_safety",
+                              executions_per_round=60, seed=1,
+                              flush_prob=0.9)
+        assert result.outcome is SynthesisOutcome.CLEAN
+
+    def test_version_exported(self):
+        assert repro.__version__
+        parts = repro.__version__.split(".")
+        assert all(p.isdigit() for p in parts)
+
+    def test_sc_model_available_for_algorithm_checks(self):
+        result = infer_fences("lifo_wsq", memory_model="sc", spec="lin",
+                              executions_per_round=100, seed=2)
+        assert result.outcome is SynthesisOutcome.CLEAN
+        assert result.fence_count == 0

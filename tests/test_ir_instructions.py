@@ -1,0 +1,105 @@
+"""Unit tests for DIR instructions and fence kinds."""
+
+import pytest
+
+from repro.ir import instructions as ins
+from repro.ir.instructions import FenceKind
+from repro.ir.operands import Const, Reg, Sym
+
+
+class TestFenceKind:
+    def test_full_subsumes_everything(self):
+        for kind in FenceKind:
+            assert FenceKind.FULL.subsumes(kind)
+
+    def test_specific_kinds_subsume_only_themselves(self):
+        assert FenceKind.ST_ST.subsumes(FenceKind.ST_ST)
+        assert not FenceKind.ST_ST.subsumes(FenceKind.ST_LD)
+        assert not FenceKind.ST_ST.subsumes(FenceKind.FULL)
+        assert FenceKind.ST_LD.subsumes(FenceKind.ST_LD)
+        assert not FenceKind.ST_LD.subsumes(FenceKind.ST_ST)
+
+
+class TestClassification:
+    def test_load_is_shared_access(self):
+        instr = ins.Load(0, Reg("d"), Sym("X"))
+        assert instr.is_shared_access()
+        assert instr.is_load()
+        assert not instr.is_store()
+
+    def test_store_is_shared_access(self):
+        instr = ins.Store(0, Const(1), Sym("X"))
+        assert instr.is_shared_access()
+        assert instr.is_store()
+        assert not instr.is_load()
+
+    def test_cas_is_shared_but_neither_load_nor_store(self):
+        instr = ins.Cas(0, Reg("d"), Sym("X"), Const(0), Const(1))
+        assert instr.is_shared_access()
+        assert not instr.is_load()
+        assert not instr.is_store()
+
+    def test_local_ops_are_not_shared(self):
+        for instr in [
+            ins.ConstInstr(0, Reg("d"), 1),
+            ins.Mov(1, Reg("d"), Const(2)),
+            ins.BinOp(2, Reg("d"), "add", Const(1), Const(2)),
+            ins.UnOp(3, Reg("d"), "neg", Const(1)),
+            ins.Nop(4),
+        ]:
+            assert not instr.is_shared_access()
+
+
+class TestTerminators:
+    def test_br_is_terminator_with_target(self):
+        instr = ins.Br(0, 7)
+        assert instr.is_terminator()
+        assert instr.jump_targets() == (7,)
+
+    def test_cbr_has_two_targets(self):
+        instr = ins.Cbr(0, Reg("c"), 3, 9)
+        assert instr.is_terminator()
+        assert instr.jump_targets() == (3, 9)
+
+    def test_ret_is_terminator_without_targets(self):
+        instr = ins.Ret(0, Const(0))
+        assert instr.is_terminator()
+        assert instr.jump_targets() == ()
+
+    def test_fallthrough_instructions(self):
+        instr = ins.Store(0, Const(1), Sym("X"))
+        assert not instr.is_terminator()
+        assert instr.jump_targets() == ()
+
+
+class TestOperatorValidation:
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            ins.BinOp(0, Reg("d"), "pow", Const(1), Const(2))
+
+    def test_unknown_unop_rejected(self):
+        with pytest.raises(ValueError):
+            ins.UnOp(0, Reg("d"), "sqrt", Const(1))
+
+    def test_all_listed_binops_accepted(self):
+        for op in ins.BINARY_OPS:
+            ins.BinOp(0, Reg("d"), op, Const(1), Const(2))
+
+    def test_all_listed_unops_accepted(self):
+        for op in ins.UNARY_OPS:
+            ins.UnOp(0, Reg("d"), op, Const(1))
+
+
+class TestRepr:
+    def test_labels_in_repr(self):
+        assert repr(ins.Nop(12)).startswith("L12: nop")
+
+    def test_fence_repr_shows_kind_and_origin(self):
+        fence = ins.Fence(3, FenceKind.ST_LD, synthesized=True)
+        text = repr(fence)
+        assert "st_ld" in text
+        assert "synth" in text
+
+    def test_call_repr_shows_args(self):
+        call = ins.Call(1, Reg("d"), "f", [Const(1), Reg("x")])
+        assert "f(1, %x)" in repr(call)

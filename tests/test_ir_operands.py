@@ -1,0 +1,60 @@
+"""Unit tests for DIR operand kinds."""
+
+import pytest
+
+from repro.ir.operands import Const, Reg, Sym, is_operand
+
+
+class TestReg:
+    def test_repr(self):
+        assert repr(Reg("x")) == "%x"
+
+    def test_equality(self):
+        assert Reg("x") == Reg("x")
+        assert Reg("x") != Reg("y")
+
+    def test_not_equal_to_other_kinds(self):
+        assert Reg("x") != Sym("x")
+        assert Reg("x") != Const(1)
+
+    def test_hashable(self):
+        assert len({Reg("a"), Reg("a"), Reg("b")}) == 2
+
+
+class TestConst:
+    def test_repr(self):
+        assert repr(Const(42)) == "42"
+        assert repr(Const(-3)) == "-3"
+
+    def test_value_coerced_to_int(self):
+        assert Const(True).value == 1
+
+    def test_equality(self):
+        assert Const(5) == Const(5)
+        assert Const(5) != Const(6)
+
+    def test_hashable(self):
+        assert len({Const(1), Const(1), Const(2)}) == 2
+
+
+class TestSym:
+    def test_repr(self):
+        assert repr(Sym("G")) == "@G"
+
+    def test_equality(self):
+        assert Sym("G") == Sym("G")
+        assert Sym("G") != Sym("H")
+
+    def test_distinct_hash_domains(self):
+        # A register and a symbol with the same name must not collide.
+        assert hash(Reg("x")) != hash(Sym("x"))
+
+
+class TestIsOperand:
+    @pytest.mark.parametrize("value", [Reg("r"), Const(0), Sym("g")])
+    def test_valid(self, value):
+        assert is_operand(value)
+
+    @pytest.mark.parametrize("value", [1, "x", None, 3.5, [Reg("r")]])
+    def test_invalid(self, value):
+        assert not is_operand(value)

@@ -1,0 +1,190 @@
+"""Unit tests for Function / Module / IRBuilder / printer."""
+
+import pytest
+
+from repro.ir import (
+    Const,
+    FenceKind,
+    Function,
+    GlobalVar,
+    IRBuilder,
+    Module,
+    Reg,
+    Sym,
+    format_function,
+    format_module,
+)
+from repro.ir import instructions as ins
+
+
+def build_linear_function(module, name="f", n=3):
+    builder = IRBuilder(module, name)
+    for i in range(n):
+        builder.const(Reg("r%d" % i), i)
+    builder.ret()
+    return builder.finish()
+
+
+class TestFunction:
+    def test_label_index(self):
+        m = Module()
+        fn = build_linear_function(m)
+        for i, instr in enumerate(fn.body):
+            assert fn.index_of(instr.label) == i
+            assert fn.instr_at(instr.label) is instr
+
+    def test_insert_after_keeps_labels_valid(self):
+        m = Module()
+        fn = build_linear_function(m)
+        first = fn.body[0].label
+        nop = ins.Nop(m.new_label())
+        fn.insert_after(first, nop)
+        assert fn.index_of(nop.label) == 1
+        assert fn.index_of(first) == 0
+
+    def test_remove(self):
+        m = Module()
+        fn = build_linear_function(m)
+        victim = fn.body[1].label
+        removed = fn.remove(victim)
+        assert removed.label == victim
+        assert not fn.has_label(victim)
+
+    def test_duplicate_labels_detected(self):
+        fn = Function("g")
+        fn.body = [ins.Nop(0), ins.Nop(0)]
+        fn.invalidate_index()
+        with pytest.raises(ValueError):
+            fn.label_index
+
+
+class TestModule:
+    def test_labels_unique_across_functions(self):
+        m = Module()
+        build_linear_function(m, "a")
+        build_linear_function(m, "b")
+        labels = [i.label for fn in m.functions.values() for i in fn.body]
+        assert len(labels) == len(set(labels))
+
+    def test_duplicate_global_rejected(self):
+        m = Module()
+        m.add_global(GlobalVar("X"))
+        with pytest.raises(ValueError):
+            m.add_global(GlobalVar("X"))
+
+    def test_duplicate_function_rejected(self):
+        m = Module()
+        build_linear_function(m, "a")
+        with pytest.raises(ValueError):
+            build_linear_function(m, "a")
+
+    def test_find_instr(self):
+        m = Module()
+        fn = build_linear_function(m, "a")
+        label = fn.body[1].label
+        found_fn, found = m.find_instr(label)
+        assert found_fn is fn
+        assert found.label == label
+        with pytest.raises(KeyError):
+            m.find_instr(999999)
+
+    def test_clone_preserves_labels_and_isolates_mutation(self):
+        m = Module("orig")
+        m.add_global(GlobalVar("X", 2, [7]))
+        fn = build_linear_function(m)
+        clone = m.clone()
+        assert clone.function("f").labels() == fn.labels()
+        assert clone.globals["X"].init == [7]
+        # Mutating the clone must not touch the original.
+        clone.function("f").remove(fn.body[0].label)
+        assert len(fn.body) == 4
+        # New labels in the clone do not collide with original labels.
+        assert clone.new_label() == m.new_label()
+
+    def test_counts(self):
+        m = Module()
+        b = IRBuilder(m, "f")
+        b.store(Const(1), Sym("X"))
+        b.store(Const(2), Sym("X"))
+        b.load(Reg("r"), Sym("X"))
+        b.ret()
+        m.add_global(GlobalVar("X"))
+        b.finish()
+        assert m.store_count() == 2
+        assert m.instruction_count() == 4
+
+
+class TestBuilder:
+    def test_forward_branch_resolution(self):
+        m = Module()
+        b = IRBuilder(m, "f")
+        end = b.block_label("end")
+        b.br(end)
+        b.const(Reg("dead"), 0)
+        b.bind(end)
+        b.ret()
+        fn = b.finish()
+        br = fn.body[0]
+        assert isinstance(br, ins.Br)
+        target = fn.instr_at(br.target)
+        assert isinstance(target, ins.Ret)
+
+    def test_label_bound_at_end_gets_anchor(self):
+        m = Module()
+        b = IRBuilder(m, "f")
+        end = b.block_label("end")
+        b.br(end)
+        b.bind(end)
+        fn = b.finish()
+        # Branch resolves into the function and a terminator exists.
+        assert fn.body[-1].is_terminator()
+        br = fn.body[0]
+        assert fn.has_label(br.target)
+
+    def test_implicit_return_appended(self):
+        m = Module()
+        b = IRBuilder(m, "f")
+        b.const(Reg("x"), 1)
+        fn = b.finish()
+        assert isinstance(fn.body[-1], ins.Ret)
+
+    def test_unbound_label_rejected(self):
+        m = Module()
+        b = IRBuilder(m, "f")
+        dangling = b.block_label()
+        b.br(dangling)
+        with pytest.raises(ValueError):
+            b.finish()
+
+    def test_double_bind_rejected(self):
+        m = Module()
+        b = IRBuilder(m, "f")
+        label = b.block_label()
+        b.bind(label)
+        b.nop()
+        with pytest.raises(ValueError):
+            b.bind(label)
+
+    def test_tmp_registers_unique(self):
+        m = Module()
+        b = IRBuilder(m, "f")
+        names = {b.tmp().name for _ in range(100)}
+        assert len(names) == 100
+
+
+class TestPrinter:
+    def test_format_function_lists_instructions(self):
+        m = Module()
+        fn = build_linear_function(m, "f", 2)
+        text = format_function(fn)
+        assert text.startswith("func f(")
+        assert text.count("\n") == len(fn.body) + 1
+
+    def test_format_module_includes_globals(self):
+        m = Module("demo")
+        m.add_global(GlobalVar("X", 4))
+        build_linear_function(m)
+        text = format_module(m)
+        assert "module demo" in text
+        assert "global X[4]" in text
+        assert "func f" in text

@@ -1,0 +1,136 @@
+"""Unit tests for the IR verifier and CFG construction."""
+
+import pytest
+
+from repro.ir import CFG, Const, GlobalVar, IRBuilder, Module, Reg, Sym
+from repro.ir import instructions as ins
+from repro.ir.verifier import VerificationError, verify_module
+
+
+def minimal_module():
+    m = Module()
+    m.add_global(GlobalVar("X"))
+    b = IRBuilder(m, "main")
+    b.load(Reg("r"), Sym("X"))
+    b.ret(Reg("r"))
+    b.finish()
+    return m
+
+
+class TestVerifier:
+    def test_accepts_valid_module(self):
+        verify_module(minimal_module())
+
+    def test_rejects_empty_function(self):
+        m = minimal_module()
+        m.function("main").body = []
+        with pytest.raises(VerificationError, match="empty body"):
+            verify_module(m)
+
+    def test_rejects_missing_terminator(self):
+        m = minimal_module()
+        m.function("main").body = [ins.Nop(m.new_label())]
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_module(m)
+
+    def test_rejects_dangling_branch(self):
+        m = minimal_module()
+        fn = m.function("main")
+        fn.body.insert(0, ins.Br(m.new_label(), 424242))
+        fn.invalidate_index()
+        with pytest.raises(VerificationError, match="unknown L424242"):
+            verify_module(m)
+
+    def test_rejects_unknown_global(self):
+        m = minimal_module()
+        fn = m.function("main")
+        fn.body.insert(0, ins.Load(m.new_label(), Reg("q"), Sym("NOPE")))
+        fn.invalidate_index()
+        with pytest.raises(VerificationError, match="NOPE"):
+            verify_module(m)
+
+    def test_rejects_unknown_callee(self):
+        m = minimal_module()
+        fn = m.function("main")
+        fn.body.insert(0, ins.Call(m.new_label(), None, "ghost", []))
+        fn.invalidate_index()
+        with pytest.raises(VerificationError, match="ghost"):
+            verify_module(m)
+
+    def test_rejects_call_arity_mismatch(self):
+        m = minimal_module()
+        b = IRBuilder(m, "callee", ["a", "b"])
+        b.ret()
+        b.finish()
+        fn = m.function("main")
+        fn.body.insert(0, ins.Call(m.new_label(), None, "callee", [Const(1)]))
+        fn.invalidate_index()
+        with pytest.raises(VerificationError, match="arity"):
+            verify_module(m)
+
+    def test_rejects_raw_python_operand(self):
+        m = minimal_module()
+        fn = m.function("main")
+        fn.body.insert(0, ins.Mov(m.new_label(), Reg("r"), 17))
+        fn.invalidate_index()
+        with pytest.raises(VerificationError, match="bad operand"):
+            verify_module(m)
+
+
+class TestCFG:
+    def build_diamond(self):
+        m = Module()
+        b = IRBuilder(m, "f")
+        then_l = b.block_label("then")
+        else_l = b.block_label("else")
+        end_l = b.block_label("end")
+        b.cbr(Const(1), then_l, else_l)
+        b.bind(then_l)
+        b.const(Reg("a"), 1)
+        b.br(end_l)
+        b.bind(else_l)
+        b.const(Reg("a"), 2)
+        b.br(end_l)
+        b.bind(end_l)
+        b.ret(Reg("a"))
+        return b.finish()
+
+    def test_diamond_block_structure(self):
+        fn = self.build_diamond()
+        cfg = CFG(fn)
+        assert len(cfg.blocks) == 4
+        entry = cfg.entry()
+        assert sorted(entry.successors) == [1, 2]
+        exit_block = cfg.blocks[3]
+        assert sorted(exit_block.predecessors) == [1, 2]
+        assert exit_block.successors == []
+
+    def test_straight_line_single_block(self):
+        m = Module()
+        b = IRBuilder(m, "f")
+        b.const(Reg("x"), 1)
+        b.const(Reg("y"), 2)
+        b.ret()
+        fn = b.finish()
+        cfg = CFG(fn)
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].successors == []
+
+    def test_loop_back_edge(self):
+        m = Module()
+        b = IRBuilder(m, "f")
+        head = b.block_label("head")
+        out = b.block_label("out")
+        b.bind(head)
+        b.cbr(Reg("c"), head, out)
+        b.bind(out)
+        b.ret()
+        fn = b.finish()
+        cfg = CFG(fn)
+        head_block = cfg.block_of_instr[0]
+        assert head_block in cfg.blocks[head_block].successors
+
+    def test_every_instruction_mapped_to_a_block(self):
+        fn = self.build_diamond()
+        cfg = CFG(fn)
+        assert sorted(cfg.block_of_instr) == list(range(len(fn.body)))

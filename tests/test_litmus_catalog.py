@@ -1,0 +1,44 @@
+"""Exhaustive verification of the litmus catalog.
+
+Every expected outcome set in :mod:`repro.litmus` is checked *exactly*
+against the schedule explorer — the catalog is executable documentation
+and this test keeps it honest.
+"""
+
+import pytest
+
+from repro.litmus import LITMUS_TESTS
+from repro.sched.exhaustive import explore
+
+
+def thread_results(vm):
+    return tuple(vm.threads[tid].result for tid in sorted(vm.threads))
+
+
+@pytest.mark.parametrize("name", sorted(LITMUS_TESTS))
+@pytest.mark.parametrize("model", ["sc", "tso", "pso"])
+def test_catalog_outcomes_exact(name, model):
+    test = LITMUS_TESTS[name]
+    module = test.compile()
+    result = explore(module, model, outcome_fn=thread_results,
+                     max_paths=60_000)
+    assert result.complete, "budget too small for %s/%s" % (name, model)
+    assert result.outcomes == test.expected[model], (name, model)
+
+
+def test_relaxation_table():
+    """The summary table in the module docstring."""
+    allowing = {name: test.models_allowing_relaxation()
+                for name, test in LITMUS_TESTS.items()}
+    assert allowing["sb"] == ["pso", "tso"]
+    assert allowing["mp"] == ["pso"]
+    assert allowing["lb"] == []
+    assert allowing["corr"] == []
+    assert allowing["sb_fenced"] == []
+    assert allowing["mp_fenced"] == []
+
+
+def test_catalog_programs_compile():
+    for test in LITMUS_TESTS.values():
+        module = test.compile()
+        assert "main" in module.functions

@@ -1,0 +1,138 @@
+"""Additional memory-model edge cases and predicate plumbing."""
+
+import pytest
+
+from repro.ir.instructions import FenceKind
+from repro.memory import PSOModel, PredicateSink, SCModel, TSOModel
+from repro.memory.predicates import OrderingPredicate, merge_kinds
+
+
+class Recorder:
+    def __init__(self):
+        self.cells = {}
+
+    def commit(self, tid, addr, value, label):
+        self.cells[addr] = value
+
+
+class TestAttachment:
+    def test_unattached_model_refuses_commits(self):
+        model = TSOModel()
+        model.write(0, 100, 1, label=1)
+        with pytest.raises(RuntimeError, match="not attached"):
+            model.drain(0)
+
+    def test_sc_unattached_write_fails_immediately(self):
+        model = SCModel()
+        with pytest.raises(RuntimeError):
+            model.write(0, 100, 1, label=1)
+
+
+class TestSCNoOps:
+    def test_fence_and_cas_are_noops(self):
+        model = SCModel()
+        rec = Recorder()
+        model.attach(rec.commit)
+        for kind in FenceKind:
+            model.fence(0, kind)
+        model.pre_cas(0, 100, label=1)
+        assert not model.has_pending(0)
+        assert model.pending_count(0) == 0
+
+
+class TestTSOOrdering:
+    def test_pending_addrs_reflect_fifo_order(self):
+        model = TSOModel()
+        model.attach(Recorder().commit)
+        model.write(0, 300, 1, label=1)
+        model.write(0, 100, 2, label=2)
+        model.write(0, 300, 3, label=3)
+        assert model.pending_addrs(0) == [300, 100, 300]
+
+    def test_interleaved_addresses_forward_correctly(self):
+        model = TSOModel()
+        model.attach(Recorder().commit)
+        model.write(0, 100, 1, label=1)
+        model.write(0, 200, 2, label=2)
+        model.write(0, 100, 3, label=3)
+        assert model.read(0, 100, label=4) == (True, 3)
+        assert model.read(0, 200, label=5) == (True, 2)
+
+    def test_partial_drain_then_read_falls_through(self):
+        model = TSOModel()
+        rec = Recorder()
+        model.attach(rec.commit)
+        model.write(0, 100, 7, label=1)
+        model.flush_one(0)
+        hit, _value = model.read(0, 100, label=2)
+        assert not hit            # buffered copy gone
+        assert rec.cells[100] == 7
+
+
+class TestPSOOrdering:
+    def test_drain_addr_leaves_other_buffers(self):
+        model = PSOModel()
+        rec = Recorder()
+        model.attach(rec.commit)
+        model.write(0, 100, 1, label=1)
+        model.write(0, 100, 2, label=2)
+        model.write(0, 200, 3, label=3)
+        model.drain_addr(0, 100)
+        assert rec.cells == {100: 2}
+        assert model.pending_addrs(0) == [200]
+
+    def test_default_flush_is_deterministic(self):
+        committed = []
+
+        def commit(tid, addr, value, label):
+            committed.append(addr)
+
+        model = PSOModel()
+        model.attach(commit)
+        model.write(0, 300, 1, label=1)
+        model.write(0, 100, 2, label=2)
+        model.flush_one(0)           # no addr: smallest pending address
+        assert committed == [100]
+
+    def test_predicates_enumerate_all_pending_labels(self):
+        sink = PredicateSink()
+        model = PSOModel()
+        model.attach(Recorder().commit, sink)
+        model.write(0, 100, 1, label=11)
+        model.write(0, 100, 2, label=12)   # same var: two pending labels
+        model.read(0, 200, label=13)
+        assert {p.key for p in sink} == {(11, 13), (12, 13)}
+
+    def test_cross_thread_isolation(self):
+        sink = PredicateSink()
+        model = PSOModel()
+        model.attach(Recorder().commit, sink)
+        model.write(0, 100, 1, label=11)
+        model.read(1, 200, label=12)       # another thread's load
+        assert len(sink) == 0
+
+
+class TestPredicateHelpers:
+    def test_merge_kinds(self):
+        assert merge_kinds(FenceKind.ST_ST, FenceKind.ST_ST) \
+            is FenceKind.ST_ST
+        assert merge_kinds(FenceKind.ST_ST, FenceKind.ST_LD) \
+            is FenceKind.FULL
+        assert merge_kinds(FenceKind.FULL, FenceKind.ST_ST) \
+            is FenceKind.FULL
+
+    def test_predicate_equality_ignores_kind(self):
+        a = OrderingPredicate(1, 2, FenceKind.ST_ST)
+        b = OrderingPredicate(1, 2, FenceKind.ST_LD)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_sink_keys(self):
+        sink = PredicateSink()
+        sink.add(1, 2, FenceKind.ST_ST)
+        sink.add(3, 4, FenceKind.ST_LD)
+        assert sink.keys() == frozenset({(1, 2), (3, 4)})
+
+    def test_predicate_repr(self):
+        pred = OrderingPredicate(4, 9, FenceKind.ST_LD)
+        assert repr(pred) == "[L4 < L9]/st_ld"

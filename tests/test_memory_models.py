@@ -1,0 +1,291 @@
+"""Unit tests for the SC/TSO/PSO store-buffer semantics (Semantics 1+2)."""
+
+import pytest
+
+from repro.ir.instructions import FenceKind
+from repro.memory import (
+    PSOModel,
+    PredicateSink,
+    SCModel,
+    TSOModel,
+    make_model,
+)
+
+
+class MemoryStub:
+    """Records commits; doubles as shared memory for the models."""
+
+    def __init__(self):
+        self.cells = {}
+        self.commits = []
+
+    def commit(self, tid, addr, value, label):
+        self.cells[addr] = value
+        self.commits.append((tid, addr, value, label))
+
+
+def attach(model, sink=None):
+    mem = MemoryStub()
+    model.attach(mem.commit, sink)
+    return mem
+
+
+class TestMakeModel:
+    def test_names(self):
+        assert isinstance(make_model("sc"), SCModel)
+        assert isinstance(make_model("TSO"), TSOModel)
+        assert isinstance(make_model("pso"), PSOModel)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_model("rmo")
+
+
+class TestSCModel:
+    def test_writes_commit_immediately(self):
+        model = SCModel()
+        mem = attach(model)
+        model.write(0, 100, 7, label=1)
+        assert mem.cells[100] == 7
+        assert not model.has_pending(0)
+
+    def test_read_always_misses(self):
+        model = SCModel()
+        attach(model)
+        assert model.read(0, 100, label=1) == (False, 0)
+
+
+class TestTSOModel:
+    def test_store_is_buffered(self):
+        model = TSOModel()
+        mem = attach(model)
+        model.write(0, 100, 7, label=1)
+        assert mem.cells == {}
+        assert model.has_pending(0)
+        assert model.pending_count(0) == 1
+
+    def test_store_forwarding_returns_newest(self):
+        model = TSOModel()
+        attach(model)
+        model.write(0, 100, 7, label=1)
+        model.write(0, 100, 8, label=2)
+        assert model.read(0, 100, label=3) == (True, 8)
+
+    def test_fifo_flush_order(self):
+        model = TSOModel()
+        mem = attach(model)
+        model.write(0, 100, 1, label=1)
+        model.write(0, 200, 2, label=2)
+        model.write(0, 100, 3, label=3)
+        model.drain(0)
+        assert [c[1] for c in mem.commits] == [100, 200, 100]
+        assert mem.cells == {100: 3, 200: 2}
+
+    def test_flush_one_only_pops_head(self):
+        model = TSOModel()
+        mem = attach(model)
+        model.write(0, 100, 1, label=1)
+        model.write(0, 200, 2, label=2)
+        # Requesting a non-head address cannot flush out of order.
+        assert not model.flush_one(0, addr=200)
+        assert model.flush_one(0, addr=100)
+        assert mem.cells == {100: 1}
+
+    def test_buffers_are_per_thread(self):
+        model = TSOModel()
+        attach(model)
+        model.write(0, 100, 7, label=1)
+        assert model.read(1, 100, label=2) == (False, 0)
+        assert not model.has_pending(1)
+
+    def test_st_st_fence_is_noop(self):
+        model = TSOModel()
+        mem = attach(model)
+        model.write(0, 100, 7, label=1)
+        model.fence(0, FenceKind.ST_ST)
+        assert model.has_pending(0)
+        model.fence(0, FenceKind.ST_LD)
+        assert not model.has_pending(0)
+        assert mem.cells == {100: 7}
+
+    def test_full_fence_drains(self):
+        model = TSOModel()
+        attach(model)
+        model.write(0, 100, 7, label=1)
+        model.fence(0, FenceKind.FULL)
+        assert not model.has_pending(0)
+
+    def test_cas_drains_whole_buffer(self):
+        model = TSOModel()
+        mem = attach(model)
+        model.write(0, 100, 7, label=1)
+        model.write(0, 200, 8, label=2)
+        model.pre_cas(0, 300, label=3)
+        assert not model.has_pending(0)
+        assert mem.cells == {100: 7, 200: 8}
+
+    def test_load_generates_st_ld_predicates_for_other_vars(self):
+        sink = PredicateSink()
+        model = TSOModel()
+        attach(model, sink)
+        model.write(0, 100, 7, label=11)
+        model.write(0, 200, 8, label=12)
+        model.read(0, 300, label=13)
+        keys = {p.key for p in sink}
+        assert keys == {(11, 13), (12, 13)}
+        assert all(p.kind is FenceKind.ST_LD for p in sink)
+
+    def test_load_of_same_var_generates_no_predicate(self):
+        sink = PredicateSink()
+        model = TSOModel()
+        attach(model, sink)
+        model.write(0, 100, 7, label=11)
+        model.read(0, 100, label=12)
+        assert len(sink) == 0
+
+    def test_store_generates_no_predicates(self):
+        sink = PredicateSink()
+        model = TSOModel()
+        attach(model, sink)
+        model.write(0, 100, 7, label=11)
+        model.write(0, 200, 8, label=12)
+        assert len(sink) == 0
+
+    def test_flushed_store_no_longer_generates_predicates(self):
+        sink = PredicateSink()
+        model = TSOModel()
+        attach(model, sink)
+        model.write(0, 100, 7, label=11)
+        model.drain(0)
+        model.read(0, 200, label=12)
+        assert len(sink) == 0
+
+    def test_reset_clears_buffers(self):
+        model = TSOModel()
+        attach(model)
+        model.write(0, 100, 7, label=1)
+        model.reset()
+        assert not model.has_pending(0)
+
+
+class TestPSOModel:
+    def test_per_variable_buffers(self):
+        model = PSOModel()
+        mem = attach(model)
+        model.write(0, 100, 1, label=1)
+        model.write(0, 200, 2, label=2)
+        assert sorted(model.pending_addrs(0)) == [100, 200]
+        # A later store to 200 can be committed before the store to 100.
+        assert model.flush_one(0, addr=200)
+        assert mem.cells == {200: 2}
+
+    def test_per_variable_fifo_order(self):
+        model = PSOModel()
+        mem = attach(model)
+        model.write(0, 100, 1, label=1)
+        model.write(0, 100, 2, label=2)
+        model.flush_one(0, addr=100)
+        assert mem.cells[100] == 1
+        model.flush_one(0, addr=100)
+        assert mem.cells[100] == 2
+
+    def test_store_forwarding_newest(self):
+        model = PSOModel()
+        attach(model)
+        model.write(0, 100, 1, label=1)
+        model.write(0, 100, 2, label=2)
+        assert model.read(0, 100, label=3) == (True, 2)
+
+    def test_any_fence_kind_drains(self):
+        for kind in FenceKind:
+            model = PSOModel()
+            attach(model)
+            model.write(0, 100, 1, label=1)
+            model.fence(0, kind)
+            assert not model.has_pending(0), kind
+
+    def test_cas_drains_only_target_variable(self):
+        model = PSOModel()
+        mem = attach(model)
+        model.write(0, 100, 1, label=1)
+        model.write(0, 200, 2, label=2)
+        model.pre_cas(0, 100, label=3)
+        assert mem.cells == {100: 1}
+        assert model.pending_addrs(0) == [200]
+
+    def test_store_generates_st_st_predicates(self):
+        sink = PredicateSink()
+        model = PSOModel()
+        attach(model, sink)
+        model.write(0, 100, 1, label=11)
+        model.write(0, 200, 2, label=12)
+        preds = list(sink)
+        assert [p.key for p in preds] == [(11, 12)]
+        assert preds[0].kind is FenceKind.ST_ST
+
+    def test_load_generates_st_ld_predicates(self):
+        sink = PredicateSink()
+        model = PSOModel()
+        attach(model, sink)
+        model.write(0, 100, 1, label=11)
+        model.read(0, 200, label=12)
+        preds = list(sink)
+        assert [p.key for p in preds] == [(11, 12)]
+        assert preds[0].kind is FenceKind.ST_LD
+
+    def test_cas_generates_full_predicates_for_other_vars(self):
+        sink = PredicateSink()
+        model = PSOModel()
+        attach(model, sink)
+        model.write(0, 100, 1, label=11)
+        model.pre_cas(0, 200, label=12)
+        preds = list(sink)
+        assert [p.key for p in preds] == [(11, 12)]
+        assert preds[0].kind is FenceKind.FULL
+
+    def test_same_variable_store_no_predicate(self):
+        sink = PredicateSink()
+        model = PSOModel()
+        attach(model, sink)
+        model.write(0, 100, 1, label=11)
+        model.write(0, 100, 2, label=12)
+        assert len(sink) == 0
+
+    def test_pending_count(self):
+        model = PSOModel()
+        attach(model)
+        model.write(0, 100, 1, label=1)
+        model.write(0, 100, 2, label=2)
+        model.write(0, 200, 3, label=3)
+        assert model.pending_count(0) == 3
+
+    def test_drain_commits_everything(self):
+        model = PSOModel()
+        mem = attach(model)
+        for i in range(5):
+            model.write(0, 100 + i, i, label=i)
+        model.drain(0)
+        assert not model.has_pending(0)
+        assert len(mem.commits) == 5
+
+
+class TestPredicateSink:
+    def test_deduplicates_and_merges_kinds(self):
+        sink = PredicateSink()
+        sink.add(1, 2, FenceKind.ST_ST)
+        sink.add(1, 2, FenceKind.ST_ST)
+        assert len(sink) == 1
+        sink.add(1, 2, FenceKind.ST_LD)
+        assert sink.predicates()[0].kind is FenceKind.FULL
+
+    def test_deterministic_order(self):
+        sink = PredicateSink()
+        sink.add(5, 6, FenceKind.ST_ST)
+        sink.add(1, 2, FenceKind.ST_ST)
+        assert [p.key for p in sink.predicates()] == [(1, 2), (5, 6)]
+
+    def test_clear(self):
+        sink = PredicateSink()
+        sink.add(1, 2, FenceKind.ST_ST)
+        sink.clear()
+        assert not sink

@@ -1,0 +1,133 @@
+"""Property-based tests of the store-buffer models (hypothesis).
+
+Invariants checked against a reference:
+
+* draining a TSO buffer commits stores in exact issue order;
+* draining a PSO buffer commits stores to each address in issue order
+  (cross-address order is free);
+* after a full drain, shared memory equals the final value written to
+  each address, regardless of interleaved partial flushes;
+* a thread's read always sees its newest own pending store (forwarding),
+  falling back to committed memory.
+"""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import PSOModel, TSOModel
+
+ADDRS = [100, 101, 102]
+
+#: (op, addr, value) where op is "w" (write), "f" (flush one), "r" (read).
+OPS = st.lists(
+    st.tuples(st.sampled_from(["w", "w", "w", "f", "r"]),
+              st.sampled_from(ADDRS),
+              st.integers(min_value=0, max_value=99)),
+    max_size=40,
+)
+
+
+class Recorder:
+    def __init__(self):
+        self.cells = {}
+        self.commits = []
+
+    def commit(self, tid, addr, value, label):
+        self.cells[addr] = value
+        self.commits.append((addr, value))
+
+
+def run_script(model, ops):
+    rec = Recorder()
+    model.attach(rec.commit, None)
+    issued = []
+    expected_reads = {}
+    committed = {}
+    label = 0
+    for (op, addr, value) in ops:
+        label += 1
+        if op == "w":
+            model.write(0, addr, value, label)
+            issued.append((addr, value))
+        elif op == "f":
+            model.flush_one(0, addr)
+        elif op == "r":
+            hit, got = model.read(0, addr, label)
+            # Reference: newest own pending write, else last committed.
+            pending = [v for (a, v) in issued if a == addr]
+            pending = pending[len([c for c in rec.commits if c[0] == addr]):]
+            if pending:
+                assert hit and got == pending[-1]
+            else:
+                assert not hit
+    return rec, issued
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=OPS)
+def test_tso_commit_order_is_issue_order(ops):
+    model = TSOModel()
+    rec, issued = run_script(model, ops)
+    model.drain(0)
+    assert rec.commits == issued
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=OPS)
+def test_tso_final_memory_matches_last_writes(ops):
+    model = TSOModel()
+    rec, issued = run_script(model, ops)
+    model.drain(0)
+    final = {}
+    for (addr, value) in issued:
+        final[addr] = value
+    assert rec.cells == final
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=OPS)
+def test_pso_per_address_commit_order(ops):
+    model = PSOModel()
+    rec, issued = run_script(model, ops)
+    model.drain(0)
+    per_addr_issued = defaultdict(list)
+    for (addr, value) in issued:
+        per_addr_issued[addr].append(value)
+    per_addr_committed = defaultdict(list)
+    for (addr, value) in rec.commits:
+        per_addr_committed[addr].append(value)
+    assert per_addr_committed == per_addr_issued
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=OPS)
+def test_pso_final_memory_matches_last_writes(ops):
+    model = PSOModel()
+    rec, issued = run_script(model, ops)
+    model.drain(0)
+    final = {}
+    for (addr, value) in issued:
+        final[addr] = value
+    assert rec.cells == final
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=OPS, model_cls=st.sampled_from([TSOModel, PSOModel]))
+def test_pending_count_matches_unflushed_writes(ops, model_cls):
+    model = model_cls()
+    rec = Recorder()
+    model.attach(rec.commit, None)
+    writes = 0
+    label = 0
+    for (op, addr, value) in ops:
+        label += 1
+        if op == "w":
+            model.write(0, addr, value, label)
+            writes += 1
+        elif op == "f":
+            if model.flush_one(0, addr if model_cls is PSOModel else None):
+                writes -= 1
+    assert model.pending_count(0) == writes
+    assert model.has_pending(0) == (writes > 0)

@@ -1,0 +1,187 @@
+"""Unit tests for MiniC builtin primitives (cas/fence/fork/lock/...)."""
+
+import pytest
+
+from repro.ir.instructions import Cas, Fence, FenceKind, Fork, Join, PageAlloc
+from repro.memory import make_model
+from repro.minic import CompileError, compile_source
+from repro.sched import FlushDelayScheduler, RoundRobinScheduler
+from repro.vm import VM
+
+
+def result_of(source, model="sc"):
+    module = compile_source(source)
+    vm = VM(module, make_model(model))
+    RoundRobinScheduler().run(vm)
+    return vm.threads[0].result
+
+
+def instrs_of(source, fn="main"):
+    return list(compile_source(source).function(fn).body)
+
+
+class TestCas:
+    def test_lowered_to_cas_instruction(self):
+        instrs = instrs_of("int G; int main() { return cas(&G, 0, 1); }")
+        assert any(isinstance(i, Cas) for i in instrs)
+
+    def test_cas_on_struct_field(self):
+        src = """
+        struct S { int a; int b; };
+        struct S G;
+        int main() {
+          G.b = 5;
+          int ok = cas(&G.b, 5, 6);
+          return ok * 10 + G.b;
+        }
+        """
+        assert result_of(src) == 16
+
+    def test_wrong_arity(self):
+        with pytest.raises(CompileError):
+            compile_source("int G; int main() { return cas(&G, 1); }")
+
+
+class TestFences:
+    def test_fence_kinds_lowered(self):
+        src = ("int main() { fence(); fence_ss(); fence_sl(); return 0; }")
+        fences = [i for i in instrs_of(src) if isinstance(i, Fence)]
+        assert [f.kind for f in fences] == [
+            FenceKind.FULL, FenceKind.ST_ST, FenceKind.ST_LD]
+        assert not any(f.synthesized for f in fences)
+
+    def test_fence_orders_pso_stores(self):
+        # Without the fence, FLAG can commit before DATA under PSO.
+        src = """
+        int DATA; int FLAG; int BAD;
+        void reader() {
+          while (FLAG == 0) {}
+          if (DATA == 0) { BAD = 1; }
+        }
+        int main() {
+          int t = fork(reader);
+          DATA = 1;
+          %s
+          FLAG = 1;
+          join(t);
+          return BAD;
+        }
+        """
+        unfenced = compile_source(src % "")
+        fenced = compile_source(src % "fence_ss();")
+        saw_bad = False
+        for seed in range(80):
+            vm = VM(unfenced, make_model("pso"))
+            FlushDelayScheduler(seed=seed, flush_prob=0.3).run(vm)
+            if vm.threads[0].result == 1:
+                saw_bad = True
+        assert saw_bad, "PSO reordering never observed without fence"
+        for seed in range(80):
+            vm = VM(fenced, make_model("pso"))
+            FlushDelayScheduler(seed=seed, flush_prob=0.3).run(vm)
+            assert vm.threads[0].result == 0
+
+
+class TestForkJoinSelf:
+    def test_instructions_lowered(self):
+        src = """
+        void w(int x) { }
+        int main() { int t = fork(w, 1); join(t); return self(); }
+        """
+        instrs = instrs_of(src)
+        assert any(isinstance(i, Fork) for i in instrs)
+        assert any(isinstance(i, Join) for i in instrs)
+
+    def test_fork_arity_checked(self):
+        with pytest.raises(CompileError, match="thread arguments"):
+            compile_source("void w(int x) { } int main() "
+                           "{ fork(w); return 0; }")
+
+    def test_fork_requires_function_name(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { fork(3); return 0; }")
+
+    def test_main_tid_is_zero(self):
+        assert result_of("int main() { return self(); }") == 0
+
+
+class TestPageAllocFree:
+    def test_lowered(self):
+        instrs = instrs_of("int main() { int* p = pagealloc(4); "
+                           "pagefree(p); return 0; }")
+        assert any(isinstance(i, PageAlloc) for i in instrs)
+
+    def test_distinct_allocations(self):
+        src = """
+        int main() {
+          int* a = pagealloc(2);
+          int* b = pagealloc(2);
+          return a != b;
+        }
+        """
+        assert result_of(src) == 1
+
+
+class TestLockUnlock:
+    def test_mutual_exclusion(self):
+        src = """
+        int L; int C;
+        void w() {
+          for (int i = 0; i < 20; i = i + 1) {
+            lock(&L);
+            int c = C;
+            C = c + 1;
+            unlock(&L);
+          }
+        }
+        int main() {
+          int t1 = fork(w);
+          int t2 = fork(w);
+          join(t1);
+          join(t2);
+          return C;
+        }
+        """
+        module = compile_source(src)
+        for model_name in ("sc", "tso", "pso"):
+            for seed in range(6):
+                vm = VM(module, make_model(model_name))
+                FlushDelayScheduler(seed=seed, flush_prob=0.4).run(vm)
+                assert vm.threads[0].result == 40, (model_name, seed)
+
+    def test_lock_emits_fenced_cas_loop(self):
+        instrs = instrs_of("int L; int main() { lock(&L); unlock(&L); "
+                           "return 0; }")
+        fences = [i for i in instrs if isinstance(i, Fence)]
+        cases = [i for i in instrs if isinstance(i, Cas)]
+        assert len(fences) == 4  # two per lock / unlock
+        assert len(cases) == 1
+
+    def test_unlock_publishes_critical_stores_under_pso(self):
+        src = """
+        int L; int A; int B; int BAD;
+        void reader() {
+          while (B == 0) {}
+          if (A == 0) { BAD = 1; }
+        }
+        int main() {
+          int t = fork(reader);
+          lock(&L);
+          A = 1;
+          B = 1;
+          unlock(&L);
+          join(t);
+          return BAD;
+        }
+        """
+        # B == 1 can only become visible after unlock's closing fence,
+        # which also flushed A... actually both flush at unlock; but B may
+        # flush before A *within* the critical section under PSO.  The
+        # reader may therefore see B=1, A=0 -- this is the known PSO lock
+        # caveat the paper handles by fencing lock bodies; here we only
+        # check executions terminate and BAD is 0 or 1.
+        module = compile_source(src)
+        for seed in range(30):
+            vm = VM(module, make_model("pso"))
+            FlushDelayScheduler(seed=seed, flush_prob=0.4).run(vm)
+            assert vm.threads[0].result in (0, 1)

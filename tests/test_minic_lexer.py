@@ -1,0 +1,76 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.minic import LexError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        toks = kinds("int intx returns return")
+        assert toks == [("kw", "int"), ("ident", "intx"),
+                        ("ident", "returns"), ("kw", "return")]
+
+    def test_numbers(self):
+        assert kinds("0 42 0x1F") == [("num", "0"), ("num", "42"),
+                                      ("num", "0x1F")]
+
+    def test_hex_value_parses(self):
+        tok = tokenize("0xff")[0]
+        assert int(tok.text, 0) == 255
+
+    def test_multi_char_operators_maximal_munch(self):
+        assert [t for _k, t in kinds("a<=b >> c->d == e")] == [
+            "a", "<=", "b", ">>", "c", "->", "d", "==", "e"]
+
+    def test_underscored_identifiers(self):
+        assert kinds("_x a_b")[0] == ("ident", "_x")
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // b c\n d") == [("ident", "a"), ("ident", "d")]
+
+    def test_block_comment(self):
+        assert kinds("a /* b\n c */ d") == [("ident", "a"), ("ident", "d")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("a /* b")
+
+
+class TestLines:
+    def test_line_numbers_tracked(self):
+        toks = tokenize("a\nb\n\nc")
+        lines = {t.text: t.line for t in toks if t.kind == "ident"}
+        assert lines == {"a": 1, "b": 2, "c": 4}
+
+    def test_block_comment_advances_lines(self):
+        toks = tokenize("/* x\ny\n*/ z")
+        z = [t for t in toks if t.text == "z"][0]
+        assert z.line == 3
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected"):
+            tokenize("a $ b")
+
+    def test_bad_number(self):
+        with pytest.raises(LexError, match="bad number"):
+            tokenize("0x")
+
+    def test_error_carries_line(self):
+        try:
+            tokenize("ok\n ok\n $")
+        except LexError as exc:
+            assert exc.line == 3
+        else:
+            pytest.fail("expected LexError")

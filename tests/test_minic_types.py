@@ -1,0 +1,94 @@
+"""Unit tests for MiniC semantic types."""
+
+import pytest
+
+from repro.minic.types import (
+    INT,
+    VOID,
+    ArrayType,
+    FuncSig,
+    PointerType,
+    StructType,
+)
+
+
+class TestScalars:
+    def test_int_properties(self):
+        assert INT.size == 1
+        assert INT.is_arithmetic()
+        assert not INT.is_pointer()
+
+    def test_void_properties(self):
+        assert VOID.size == 0
+        assert not VOID.is_arithmetic()
+
+
+class TestPointer:
+    def test_size_is_one_cell(self):
+        assert PointerType(INT).size == 1
+
+    def test_pointer_is_arithmetic(self):
+        # MiniC treats pointers as weakly-typed integers.
+        p = PointerType(INT)
+        assert p.is_pointer()
+        assert p.is_arithmetic()
+
+    def test_nested_pointee(self):
+        pp = PointerType(PointerType(INT))
+        assert pp.pointee.pointee is INT
+
+    def test_repr(self):
+        assert repr(PointerType(INT)) == "int*"
+
+
+class TestStruct:
+    def test_field_offsets_sequential(self):
+        s = StructType("S")
+        s.add_field("a", INT)
+        s.add_field("b", PointerType(INT))
+        s.add_field("c", INT)
+        assert s.field("a").offset == 0
+        assert s.field("b").offset == 1
+        assert s.field("c").offset == 2
+        assert s.size == 3
+
+    def test_duplicate_field_rejected(self):
+        s = StructType("S")
+        s.add_field("a", INT)
+        with pytest.raises(ValueError):
+            s.add_field("a", INT)
+
+    def test_missing_field_is_none(self):
+        s = StructType("S")
+        assert s.field("nope") is None
+
+    def test_struct_not_arithmetic(self):
+        assert not StructType("S").is_arithmetic()
+
+    def test_self_referential_via_pointer(self):
+        s = StructType("Node")
+        s.add_field("next", PointerType(s))
+        assert s.field("next").type.pointee is s
+        assert s.size == 1
+
+
+class TestArray:
+    def test_size(self):
+        assert ArrayType(INT, 8).size == 8
+
+    def test_struct_array_size(self):
+        s = StructType("S")
+        s.add_field("a", INT)
+        s.add_field("b", INT)
+        assert ArrayType(s, 3).size == 6
+
+    def test_array_not_arithmetic(self):
+        assert not ArrayType(INT, 4).is_arithmetic()
+
+
+class TestFuncSig:
+    def test_repr(self):
+        sig = FuncSig("f", INT, [("a", INT), ("p", PointerType(INT))])
+        text = repr(sig)
+        assert "f(" in text
+        assert "int*" in text

@@ -1,0 +1,94 @@
+"""Unit tests for minimal-model utilities and DIMACS I/O."""
+
+import pytest
+
+from repro.sat import (
+    enumerate_minimal_models,
+    format_dimacs,
+    minimum_model,
+    parse_dimacs,
+    shrink_model,
+)
+
+
+class TestShrinkModel:
+    def test_drops_useless_variables(self):
+        clauses = [[1, 2]]
+        assert shrink_model(clauses, frozenset({1, 2, 3})) == frozenset({1})
+
+    def test_keeps_required_variables(self):
+        clauses = [[1], [2]]
+        assert shrink_model(clauses, frozenset({1, 2})) == frozenset({1, 2})
+
+    def test_deterministic(self):
+        clauses = [[1, 2]]
+        a = shrink_model(clauses, frozenset({1, 2}))
+        b = shrink_model(clauses, frozenset({1, 2}))
+        assert a == b == frozenset({1})  # higher vars dropped first
+
+
+class TestEnumerateMinimalModels:
+    def test_simple_chain(self):
+        models = enumerate_minimal_models([[1, 2], [2, 3], [3, 4]])
+        assert frozenset({2, 3}) in models
+        for model in models:
+            assert len(model) <= 3
+
+    def test_single_clause_gives_singletons(self):
+        models = set(enumerate_minimal_models([[1, 2, 3]]))
+        assert models == {frozenset({1}), frozenset({2}), frozenset({3})}
+
+    def test_empty_formula(self):
+        assert enumerate_minimal_models([]) == [frozenset()]
+
+    def test_limit_respected(self):
+        models = enumerate_minimal_models([[v for v in range(1, 10)]],
+                                          limit=4)
+        assert len(models) == 4
+
+
+class TestMinimumModel:
+    def test_prefers_shared_variable(self):
+        # Variable 2 hits both clauses; singletons 1 or 3 hit only one.
+        assert minimum_model([[1, 2], [2, 3]]) == frozenset({2})
+
+    def test_tie_break_deterministic(self):
+        assert minimum_model([[1, 2]]) == frozenset({1})
+
+    def test_unsat_returns_none(self):
+        # Not monotone, but the API handles it: x and not-x.
+        assert minimum_model([[1], [-1]]) is None
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        clauses = [[1, -2, 3], [-1], [2, 3]]
+        text = format_dimacs(3, clauses)
+        num_vars, parsed = parse_dimacs(text)
+        assert num_vars == 3
+        assert parsed == clauses
+
+    def test_parse_comments_and_blank_lines(self):
+        text = """
+c a comment
+p cnf 2 2
+
+1 -2 0
+c another
+2 0
+"""
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 2
+        assert clauses == [[1, -2], [2]]
+
+    def test_parse_multiline_clause(self):
+        num_vars, clauses = parse_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert clauses == [[1, 2, 3]]
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p cnf 2\n1 0\n")
+
+    def test_trailing_clause_without_zero(self):
+        _n, clauses = parse_dimacs("p cnf 2 1\n1 2")
+        assert clauses == [[1, 2]]

@@ -1,0 +1,124 @@
+"""Property-based tests: the CDCL solver against brute force (hypothesis)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import SATSolver, solve_clauses
+from repro.sat.models import enumerate_minimal_models, minimum_model
+
+
+def brute_force_sat(clauses, num_vars):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        model = {v + 1: bits[v] for v in range(num_vars)}
+        if all(any((lit > 0) == model[abs(lit)] for lit in clause)
+               for clause in clauses):
+            return True
+    return False
+
+
+@st.composite
+def cnf(draw, max_vars=7, max_clauses=18, max_len=4):
+    n = draw(st.integers(min_value=1, max_value=max_vars))
+    m = draw(st.integers(min_value=0, max_value=max_clauses))
+    clauses = []
+    for _ in range(m):
+        k = draw(st.integers(min_value=1, max_value=max_len))
+        clause = [draw(st.sampled_from([1, -1]))
+                  * draw(st.integers(min_value=1, max_value=n))
+                  for _ in range(k)]
+        clauses.append(clause)
+    return n, clauses
+
+
+@settings(max_examples=300, deadline=None)
+@given(problem=cnf())
+def test_solver_agrees_with_brute_force(problem):
+    n, clauses = problem
+    got = solve_clauses(clauses)
+    want = brute_force_sat(clauses, n)
+    assert (got is not None) == want
+
+
+@settings(max_examples=300, deadline=None)
+@given(problem=cnf())
+def test_returned_models_satisfy_all_clauses(problem):
+    _n, clauses = problem
+    model = solve_clauses(clauses)
+    if model is None:
+        return
+    for clause in clauses:
+        assert any((lit > 0) == model[abs(lit)] for lit in clause)
+
+
+@settings(max_examples=150, deadline=None)
+@given(problem=cnf(max_vars=6, max_clauses=12))
+def test_incremental_blocking_enumerates_all_models(problem):
+    """Blocking each full model enumerates exactly the brute-force count."""
+    n, clauses = problem
+    solver = SATSolver()
+    ok = True
+    for clause in clauses:
+        ok = solver.add_clause(clause) and ok
+    # Force every variable 1..n to exist.
+    while solver.num_vars < n:
+        solver.new_var()
+    count = 0
+    while ok and count <= 2 ** n:
+        model = solver.solve()
+        if model is None:
+            break
+        count += 1
+        blocking = [-v if model[v] else v for v in range(1, n + 1)]
+        ok = solver.add_clause(blocking)
+    expected = sum(
+        1 for bits in itertools.product([False, True], repeat=n)
+        if all(any((lit > 0) == bits[abs(lit) - 1] for lit in clause)
+               for clause in clauses))
+    assert count == expected
+
+
+@st.composite
+def monotone_cnf(draw, max_vars=8, max_clauses=10):
+    n = draw(st.integers(min_value=1, max_value=max_vars))
+    m = draw(st.integers(min_value=1, max_value=max_clauses))
+    clauses = []
+    for _ in range(m):
+        size = draw(st.integers(min_value=1, max_value=min(4, n)))
+        clause = draw(st.lists(st.integers(min_value=1, max_value=n),
+                               min_size=size, max_size=size, unique=True))
+        clauses.append(clause)
+    return n, clauses
+
+
+@settings(max_examples=200, deadline=None)
+@given(problem=monotone_cnf())
+def test_minimal_models_are_hitting_sets(problem):
+    n, clauses = problem
+    models = enumerate_minimal_models(clauses)
+    assert models, "positive CNF is always satisfiable"
+    for model in models:
+        # Hits every clause.
+        for clause in clauses:
+            assert any(v in model for v in clause)
+        # Inclusion-minimal: removing any element breaks some clause.
+        for v in model:
+            smaller = model - {v}
+            assert any(all(u not in smaller for u in clause)
+                       for clause in clauses)
+
+
+@settings(max_examples=200, deadline=None)
+@given(problem=monotone_cnf(max_vars=7, max_clauses=8))
+def test_minimum_model_has_brute_force_minimum_cardinality(problem):
+    n, clauses = problem
+    best = minimum_model(clauses)
+    assert best is not None
+    smallest = min(
+        (len(subset)
+         for r in range(n + 1)
+         for subset in itertools.combinations(range(1, n + 1), r)
+         if all(any(v in subset for v in clause) for clause in clauses)),
+    )
+    assert len(best) == smallest

@@ -1,0 +1,168 @@
+"""Unit tests for the CDCL SAT solver."""
+
+import pytest
+
+from repro.sat import SATSolver, solve_clauses
+
+
+def is_model(clauses, model):
+    return all(any((lit > 0) == model[abs(lit)] for lit in clause)
+               for clause in clauses)
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert SATSolver().solve() == {}
+
+    def test_single_unit(self):
+        model = solve_clauses([[3]])
+        assert model[3] is True
+
+    def test_negative_unit(self):
+        model = solve_clauses([[-2]])
+        assert model[2] is False
+
+    def test_contradicting_units_unsat(self):
+        assert solve_clauses([[1], [-1]]) is None
+
+    def test_empty_clause_unsat(self):
+        solver = SATSolver()
+        assert solver.add_clause([1])
+        assert not solver.add_clause([])
+        assert solver.solve() is None
+
+    def test_literal_zero_rejected(self):
+        with pytest.raises(ValueError):
+            SATSolver().add_clause([1, 0])
+
+    def test_duplicate_literals_deduped(self):
+        model = solve_clauses([[1, 1, 1]])
+        assert model[1] is True
+
+    def test_tautology_skipped(self):
+        solver = SATSolver()
+        solver.add_clause([1, -1])
+        solver.add_clause([-2])
+        model = solver.solve()
+        assert model is not None
+        assert model[2] is False
+        assert 1 in model  # var registered even though clause dropped
+
+
+class TestPropagation:
+    def test_chain_of_implications(self):
+        # 1 -> 2 -> 3 -> 4 and force 1.
+        clauses = [[1], [-1, 2], [-2, 3], [-3, 4]]
+        model = solve_clauses(clauses)
+        assert all(model[v] for v in (1, 2, 3, 4))
+
+    def test_unsat_via_propagation(self):
+        clauses = [[1], [-1, 2], [-2], ]
+        assert solve_clauses(clauses) is None
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons, one hole: p1 and p2 both in hole, not together.
+        clauses = [[1], [2], [-1, -2]]
+        assert solve_clauses(clauses) is None
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # var (p,h) -> index p*2+h+1; pigeons 0..2, holes 0..1
+        def v(p, h):
+            return p * 2 + h + 1
+        clauses = []
+        for p in range(3):
+            clauses.append([v(p, 0), v(p, 1)])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    clauses.append([-v(p1, h), -v(p2, h)])
+        assert solve_clauses(clauses) is None
+
+
+class TestAssumptions:
+    def test_assumption_forces_polarity(self):
+        solver = SATSolver()
+        solver.add_clause([1, 2])
+        model = solver.solve(assumptions=[-1])
+        assert model[1] is False
+        assert model[2] is True
+
+    def test_assumptions_can_make_unsat(self):
+        solver = SATSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1, -2]) is None
+
+    def test_solver_reusable_after_assumptions(self):
+        solver = SATSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) is not None
+        model = solver.solve()
+        assert model is not None
+        assert is_model([[1, 2]], model)
+
+
+class TestIncremental:
+    def test_add_clause_after_solve(self):
+        solver = SATSolver()
+        solver.add_clause([1, 2])
+        model1 = solver.solve()
+        assert model1 is not None
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve() is None
+
+    def test_new_var_allocation(self):
+        solver = SATSolver()
+        a = solver.new_var()
+        b = solver.new_var()
+        assert a != b
+        solver.add_clause([a, b])
+        model = solver.solve()
+        assert a in model and b in model
+
+
+class TestStructured:
+    def test_xor_chain_sat(self):
+        # x1 xor x2 = 1 encoded in CNF, plus x1 = 0 -> x2 = 1.
+        clauses = [[1, 2], [-1, -2], [-1]]
+        model = solve_clauses(clauses)
+        assert model[1] is False
+        assert model[2] is True
+
+    def test_at_most_one_with_many_vars(self):
+        n = 12
+        clauses = [[v for v in range(1, n + 1)]]
+        for a in range(1, n + 1):
+            for b in range(a + 1, n + 1):
+                clauses.append([-a, -b])
+        model = solve_clauses(clauses)
+        assert model is not None
+        assert sum(model[v] for v in range(1, n + 1)) == 1
+
+    def test_graph_coloring_triangle_2_colors_unsat(self):
+        # 3 mutually adjacent nodes, 2 colors: var(node,color).
+        def v(node, color):
+            return node * 2 + color + 1
+        clauses = []
+        for node in range(3):
+            clauses.append([v(node, 0), v(node, 1)])
+            clauses.append([-v(node, 0), -v(node, 1)])
+        for a in range(3):
+            for b in range(a + 1, 3):
+                for c in range(2):
+                    clauses.append([-v(a, c), -v(b, c)])
+        assert solve_clauses(clauses) is None
+
+    def test_graph_coloring_triangle_3_colors_sat(self):
+        def v(node, color):
+            return node * 3 + color + 1
+        clauses = []
+        for node in range(3):
+            clauses.append([v(node, c) for c in range(3)])
+        for a in range(3):
+            for b in range(a + 1, 3):
+                for c in range(3):
+                    clauses.append([-v(a, c), -v(b, c)])
+        model = solve_clauses(clauses)
+        assert model is not None
+        assert is_model(clauses, model)

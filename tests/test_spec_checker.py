@@ -1,0 +1,178 @@
+"""Unit tests for the linearizability / sequential-consistency checker."""
+
+from repro.spec import (
+    EMPTY,
+    QueueSpec,
+    RegisterSpec,
+    WSQDequeSpec,
+    find_witness,
+    is_linearizable,
+    is_sequentially_consistent,
+)
+from repro.vm.events import History
+
+
+def history(*ops):
+    """Build a history from (tid, name, args, result, call, ret) tuples."""
+    h = History()
+    for (tid, name, args, result, call, ret) in ops:
+        op = h.begin(tid, name, args, call)
+        op.result = result
+        op.ret_seq = ret
+    return h
+
+
+class TestBasics:
+    def test_empty_history_is_fine(self):
+        h = History()
+        assert is_linearizable(h, QueueSpec())
+        assert is_sequentially_consistent(h, QueueSpec())
+
+    def test_single_thread_serial_history(self):
+        h = history(
+            (0, "enqueue", (1,), 0, 1, 2),
+            (0, "enqueue", (2,), 0, 3, 4),
+            (0, "dequeue", (), 1, 5, 6),
+        )
+        assert is_linearizable(h, QueueSpec())
+
+    def test_single_thread_illegal_history(self):
+        h = history(
+            (0, "enqueue", (1,), 0, 1, 2),
+            (0, "dequeue", (), 99, 3, 4),
+        )
+        assert not is_sequentially_consistent(h, QueueSpec())
+        assert not is_linearizable(h, QueueSpec())
+
+    def test_incomplete_operations_ignored(self):
+        h = history((0, "enqueue", (1,), 0, 1, 2))
+        pending = h.begin(1, "dequeue", (), 3)
+        del pending  # never completed
+        assert is_linearizable(h, QueueSpec())
+
+
+class TestRealTimeOrder:
+    def test_lin_respects_real_time_sc_does_not(self):
+        # w(1) finishes, then a read returns the OLD value 0.  SC may
+        # reorder them (no per-thread conflict), linearizability may not.
+        h = history(
+            (0, "write", (1,), 0, 1, 2),
+            (1, "read", (), 0, 5, 6),
+        )
+        assert is_sequentially_consistent(h, RegisterSpec())
+        assert not is_linearizable(h, RegisterSpec())
+
+    def test_overlapping_ops_may_order_either_way(self):
+        h = history(
+            (0, "write", (1,), 0, 1, 10),
+            (1, "read", (), 0, 2, 9),
+        )
+        assert is_linearizable(h, RegisterSpec())
+
+    def test_program_order_binds_sc(self):
+        # Same thread: write(1) then read 0 is illegal even for SC.
+        h = history(
+            (0, "write", (1,), 0, 1, 2),
+            (0, "read", (), 0, 3, 4),
+        )
+        assert not is_sequentially_consistent(h, RegisterSpec())
+
+
+class TestConcurrentQueue:
+    def test_cross_thread_interleaving_found(self):
+        h = history(
+            (0, "enqueue", (1,), 0, 1, 4),
+            (1, "enqueue", (2,), 0, 2, 3),
+            (0, "dequeue", (), 2, 5, 6),
+            (1, "dequeue", (), 1, 7, 8),
+        )
+        # Legal iff enqueue(2) linearizes before enqueue(1): they overlap.
+        assert is_linearizable(h, QueueSpec())
+
+    def test_duplicate_dequeue_rejected(self):
+        h = history(
+            (0, "enqueue", (1,), 0, 1, 2),
+            (0, "dequeue", (), 1, 3, 4),
+            (1, "dequeue", (), 1, 5, 6),
+        )
+        assert not is_sequentially_consistent(h, QueueSpec())
+
+    def test_lost_item_rejected(self):
+        h = history(
+            (0, "enqueue", (1,), 0, 1, 2),
+            (0, "dequeue", (), EMPTY, 3, 4),
+        )
+        assert not is_sequentially_consistent(h, QueueSpec())
+
+
+class TestWSQScenarios:
+    def test_paper_fig2c_style_violation(self):
+        # put(1) completes; a later non-overlapping steal returns EMPTY.
+        # SC accepts (steal serialized before put), linearizability rejects.
+        h = history(
+            (0, "put", (1,), 0, 1, 2),
+            (1, "steal", (), EMPTY, 5, 6),
+            (0, "take", (), 1, 7, 8),
+        )
+        assert is_sequentially_consistent(h, WSQDequeSpec())
+        assert not is_linearizable(h, WSQDequeSpec())
+
+    def test_duplicate_steal_take_rejected_even_for_sc(self):
+        # The same task returned twice can never serialize.
+        h = history(
+            (0, "put", (7,), 0, 1, 2),
+            (0, "take", (), 7, 3, 4),
+            (1, "steal", (), 7, 5, 6),
+        )
+        assert not is_sequentially_consistent(h, WSQDequeSpec())
+
+    def test_transient_empty_steal_non_linearizable(self):
+        # The observation from the paper's Fig.1 take-retry variant: two
+        # steals around a failed take, the first sees EMPTY, the second
+        # gets the item that existed all along.
+        h = history(
+            (0, "put", (10,), 0, 1, 2),
+            (0, "put", (20,), 0, 3, 4),
+            (0, "take", (), 20, 5, 10),
+            (0, "take", (), EMPTY, 11, 30),
+            (1, "steal", (), EMPTY, 12, 15),
+            (1, "steal", (), 10, 16, 20),
+        )
+        assert is_sequentially_consistent(h, WSQDequeSpec())
+        assert not is_linearizable(h, WSQDequeSpec())
+
+
+class TestWitness:
+    def test_witness_is_a_legal_order(self):
+        h = history(
+            (0, "enqueue", (1,), 0, 1, 4),
+            (1, "enqueue", (2,), 0, 2, 3),
+            (0, "dequeue", (), 2, 5, 6),
+        )
+        witness = find_witness(h, QueueSpec(), real_time=True)
+        assert witness is not None
+        assert [op.name for op in witness].count("enqueue") == 2
+        # enqueue(2) must come first in the witness.
+        first_enq = next(op for op in witness if op.name == "enqueue")
+        assert first_enq.args == (2,)
+
+    def test_no_witness_returns_none(self):
+        h = history(
+            (0, "dequeue", (), 5, 1, 2),
+        )
+        assert find_witness(h, QueueSpec(), real_time=False) is None
+
+
+class TestScale:
+    def test_memoisation_handles_many_overlapping_ops(self):
+        # 2 threads x 6 ops, all overlapping: without memoisation this
+        # would be slow; with it, instant.
+        ops = []
+        seq = 0
+        for tid in (0, 1):
+            for i in range(6):
+                val = tid * 10 + i
+                ops.append((tid, "enqueue", (val,), 0, seq, seq + 100))
+                seq += 1
+        h = history(*ops)
+        assert is_sequentially_consistent(h, QueueSpec())

@@ -1,0 +1,183 @@
+"""Tests for the quiescent-consistency checker."""
+
+import pytest
+
+from repro.spec import EMPTY, QueueSpec, RegisterSpec
+from repro.spec.checker import find_witness
+from repro.spec.quiescent import (
+    QuiescentConsistencySpec,
+    assign_epochs,
+    find_quiescent_witness,
+    is_quiescently_consistent,
+)
+from repro.vm.driver import ExecutionResult, ExecutionStatus
+from repro.vm.events import History
+
+
+def history(*ops):
+    h = History()
+    for (tid, name, args, result, call, ret) in ops:
+        op = h.begin(tid, name, args, call)
+        op.result = result
+        op.ret_seq = ret
+    return h
+
+
+class TestEpochs:
+    def test_disjoint_ops_get_distinct_epochs(self):
+        h = history(
+            (0, "a", (), 0, 1, 2),
+            (0, "b", (), 0, 5, 6),
+            (0, "c", (), 0, 9, 10),
+        )
+        assert assign_epochs(h.operations) == [1, 2, 3]
+
+    def test_overlapping_ops_share_an_epoch(self):
+        h = history(
+            (0, "a", (), 0, 1, 10),
+            (1, "b", (), 0, 2, 5),
+            (1, "c", (), 0, 6, 8),   # starts while a is still running
+        )
+        assert assign_epochs(h.operations) == [1, 1, 1]
+
+    def test_chain_of_overlaps_is_one_epoch(self):
+        h = history(
+            (0, "a", (), 0, 1, 4),
+            (1, "b", (), 0, 3, 8),
+            (0, "c", (), 0, 7, 12),
+        )
+        assert assign_epochs(h.operations) == [1, 1, 1]
+
+
+class TestQuiescentChecking:
+    def test_program_order_not_required_within_epoch(self):
+        # Same thread writes 1 then reads 0 — illegal for SC, but the two
+        # ops overlap nothing and... they are separated by quiescence, so
+        # QC also rejects.  Overlap them with a third op to merge epochs:
+        h = history(
+            (1, "read", (), 0, 1, 20),     # spans everything
+            (0, "write", (1,), 0, 2, 3),
+            (0, "read", (), 0, 4, 5),      # program order violated
+        )
+        spec = RegisterSpec()
+        assert find_witness(h, spec, real_time=False) is None  # SC: no
+        assert is_quiescently_consistent(h, spec)              # QC: yes
+
+    def test_quiescence_boundary_is_binding(self):
+        # write(1) fully completes, quiescence, then a read of 0: QC
+        # rejects (epochs ordered), like linearizability.
+        h = history(
+            (0, "write", (1,), 0, 1, 2),
+            (1, "read", (), 0, 5, 6),
+        )
+        spec = RegisterSpec()
+        assert not is_quiescently_consistent(h, spec)
+
+    def test_weaker_than_linearizability_on_overlap(self):
+        # Overlapping write/read: both QC and lin accept either order.
+        h = history(
+            (0, "write", (1,), 0, 1, 10),
+            (1, "read", (), 0, 2, 9),
+        )
+        assert is_quiescently_consistent(h, RegisterSpec())
+
+    def test_queue_example(self):
+        # Two concurrent enqueues, then (after quiescence) two dequeues
+        # that observe them in either order: QC accepts both orders.
+        for (first, second) in ((1, 2), (2, 1)):
+            h = history(
+                (0, "enqueue", (1,), 0, 1, 5),
+                (1, "enqueue", (2,), 0, 2, 6),
+                (0, "dequeue", (), first, 10, 11),
+                (0, "dequeue", (), second, 12, 13),
+            )
+            assert is_quiescently_consistent(h, QueueSpec()), (first, second)
+
+    def test_lost_item_still_rejected(self):
+        h = history(
+            (0, "enqueue", (1,), 0, 1, 2),
+            (0, "dequeue", (), EMPTY, 5, 6),
+        )
+        assert not is_quiescently_consistent(h, QueueSpec())
+
+    def test_witness_is_legal(self):
+        h = history(
+            (0, "enqueue", (1,), 0, 1, 5),
+            (1, "enqueue", (2,), 0, 2, 6),
+            (0, "dequeue", (), 2, 10, 11),
+        )
+        witness = find_quiescent_witness(h, QueueSpec())
+        assert witness is not None
+        assert witness[0].args == (2,)  # enqueue(2) ordered first
+
+    def test_empty_history(self):
+        assert find_quiescent_witness(History(), QueueSpec()) == []
+
+
+class TestSpecWrapper:
+    def make_result(self, ops, status=ExecutionStatus.OK):
+        h = history(*ops)
+        return ExecutionResult(status, h, [], steps=1)
+
+    def test_clean_history_passes(self):
+        result = self.make_result([
+            (0, "enqueue", (1,), 0, 1, 2),
+            (1, "dequeue", (), 1, 5, 6),
+        ])
+        assert QuiescentConsistencySpec(QueueSpec()).check(result) is None
+
+    def test_violation_reported(self):
+        result = self.make_result([
+            (0, "enqueue", (1,), 0, 1, 2),
+            (1, "dequeue", (), 7, 5, 6),
+        ])
+        message = QuiescentConsistencySpec(QueueSpec()).check(result)
+        assert message is not None
+        assert "quiescently" in message
+
+    def test_crash_dominates(self):
+        result = self.make_result([], status=ExecutionStatus.MEMORY_VIOLATION)
+        result.error = "boom"
+        assert QuiescentConsistencySpec(QueueSpec()).check(result) is not None
+
+
+class TestHierarchy:
+    def test_linearizable_implies_quiescently_consistent(self):
+        # Sample a few random-ish histories; any lin-accepted one must be
+        # QC-accepted (lin = QC + program order, both respect real time).
+        samples = [
+            [(0, "enqueue", (1,), 0, 1, 4), (1, "dequeue", (), 1, 2, 6)],
+            [(0, "enqueue", (1,), 0, 1, 2), (1, "dequeue", (), 1, 3, 4)],
+            [(0, "enqueue", (1,), 0, 1, 8),
+             (1, "enqueue", (2,), 0, 2, 7),
+             (0, "dequeue", (), 2, 9, 10)],
+        ]
+        for ops in samples:
+            h = history(*ops)
+            if find_witness(h, QueueSpec(), real_time=True) is not None:
+                assert is_quiescently_consistent(h, QueueSpec()), ops
+
+
+class TestEngineIntegration:
+    def test_qc_spec_available_on_bundles(self):
+        from repro.algorithms import ALGORITHMS
+        spec = ALGORITHMS["chase_lev"].spec("qc")
+        assert spec.name == "quiescent_consistency"
+
+    def test_qc_between_sc_and_lin_on_chase_lev_pso(self):
+        from repro.algorithms import ALGORITHMS
+        from repro.synth import SynthesisConfig, SynthesisEngine
+
+        bundle = ALGORITHMS["chase_lev"]
+        counts = {}
+        for kind in ("sc", "qc"):
+            config = SynthesisConfig(
+                memory_model="pso", flush_prob=0.2,
+                executions_per_round=600, max_rounds=12, seed=7)
+            result = SynthesisEngine(config).synthesize(
+                bundle.compile(), bundle.spec(kind),
+                entries=bundle.entries, operations=bundle.operations)
+            counts[kind] = result.fence_count
+        # QC's quiescence real-time constraint demands at least SC's
+        # fences (it resurrects the F3-class end-of-put fence).
+        assert counts["qc"] >= counts["sc"]

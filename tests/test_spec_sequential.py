@@ -1,0 +1,178 @@
+"""Unit tests for the executable sequential specifications."""
+
+from repro.spec import (
+    EMPTY,
+    AllocatorSpec,
+    QueueSpec,
+    RegisterSpec,
+    SetSpec,
+    StackSpec,
+    WSQDequeSpec,
+    WSQFifoSpec,
+    WSQLifoSpec,
+)
+
+
+def apply_all(spec, ops):
+    """Apply (name, args, result) triples; return list of ok flags."""
+    state = spec.init()
+    flags = []
+    for (name, args, result) in ops:
+        ok, state = spec.apply(state, name, tuple(args), result)
+        flags.append(ok)
+    return flags
+
+
+class TestWSQDequeSpec:
+    def test_put_take_lifo_at_tail(self):
+        spec = WSQDequeSpec()
+        assert apply_all(spec, [
+            ("put", [1], 0), ("put", [2], 0),
+            ("take", [], 2), ("take", [], 1), ("take", [], EMPTY),
+        ]) == [True] * 5
+
+    def test_steal_from_head(self):
+        spec = WSQDequeSpec()
+        assert apply_all(spec, [
+            ("put", [1], 0), ("put", [2], 0),
+            ("steal", [], 1), ("steal", [], 2), ("steal", [], EMPTY),
+        ]) == [True] * 5
+
+    def test_wrong_value_rejected(self):
+        spec = WSQDequeSpec()
+        assert apply_all(spec, [("put", [1], 0), ("take", [], 9)]) \
+            == [True, False]
+
+    def test_empty_must_return_empty(self):
+        spec = WSQDequeSpec()
+        assert apply_all(spec, [("take", [], 5)]) == [False]
+        assert apply_all(spec, [("take", [], EMPTY)]) == [True]
+
+    def test_unknown_op_rejected(self):
+        spec = WSQDequeSpec()
+        assert apply_all(spec, [("frob", [], 0)]) == [False]
+
+
+class TestWSQFifoSpec:
+    def test_take_and_steal_both_fifo(self):
+        spec = WSQFifoSpec()
+        assert apply_all(spec, [
+            ("put", [1], 0), ("put", [2], 0),
+            ("take", [], 1), ("steal", [], 2),
+        ]) == [True] * 4
+
+    def test_lifo_result_rejected(self):
+        spec = WSQFifoSpec()
+        assert apply_all(spec, [
+            ("put", [1], 0), ("put", [2], 0), ("take", [], 2),
+        ]) == [True, True, False]
+
+
+class TestWSQLifoSpec:
+    def test_all_ops_at_top(self):
+        spec = WSQLifoSpec()
+        assert apply_all(spec, [
+            ("put", [1], 0), ("put", [2], 0),
+            ("steal", [], 2), ("take", [], 1),
+        ]) == [True] * 4
+
+
+class TestQueueSpec:
+    def test_fifo(self):
+        spec = QueueSpec()
+        assert apply_all(spec, [
+            ("enqueue", [1], 0), ("enqueue", [2], 0),
+            ("dequeue", [], 1), ("dequeue", [], 2),
+            ("dequeue", [], EMPTY),
+        ]) == [True] * 5
+
+    def test_out_of_order_rejected(self):
+        spec = QueueSpec()
+        assert apply_all(spec, [
+            ("enqueue", [1], 0), ("enqueue", [2], 0), ("dequeue", [], 2),
+        ]) == [True, True, False]
+
+
+class TestStackSpec:
+    def test_lifo(self):
+        spec = StackSpec()
+        assert apply_all(spec, [
+            ("push", [1], 0), ("push", [2], 0),
+            ("pop", [], 2), ("pop", [], 1), ("pop", [], EMPTY),
+        ]) == [True] * 5
+
+
+class TestSetSpec:
+    def test_add_remove_contains(self):
+        spec = SetSpec()
+        assert apply_all(spec, [
+            ("add", [5], 1), ("add", [5], 0),
+            ("contains", [5], 1), ("contains", [6], 0),
+            ("remove", [5], 1), ("remove", [5], 0),
+            ("contains", [5], 0),
+        ]) == [True] * 7
+
+    def test_wrong_membership_answer_rejected(self):
+        spec = SetSpec()
+        assert apply_all(spec, [("contains", [5], 1)]) == [False]
+        assert apply_all(spec, [("add", [5], 1), ("contains", [5], 0)]) \
+            == [True, False]
+
+
+class TestAllocatorSpec:
+    def test_fresh_addresses_legal(self):
+        spec = AllocatorSpec()
+        assert apply_all(spec, [
+            ("malloc", [], 100), ("malloc", [], 200),
+            ("free", [100], 0), ("malloc", [], 100),
+        ]) == [True] * 4
+
+    def test_duplicate_live_allocation_rejected(self):
+        spec = AllocatorSpec()
+        assert apply_all(spec, [
+            ("malloc", [], 100), ("malloc", [], 100),
+        ]) == [True, False]
+
+    def test_null_malloc_rejected(self):
+        spec = AllocatorSpec()
+        assert apply_all(spec, [("malloc", [], 0)]) == [False]
+
+    def test_free_of_unallocated_rejected(self):
+        spec = AllocatorSpec()
+        assert apply_all(spec, [("free", [100], 0)]) == [False]
+
+    def test_double_free_rejected(self):
+        spec = AllocatorSpec()
+        assert apply_all(spec, [
+            ("malloc", [], 100), ("free", [100], 0), ("free", [100], 0),
+        ]) == [True, True, False]
+
+
+class TestRegisterSpec:
+    def test_read_sees_last_write(self):
+        spec = RegisterSpec(initial=7)
+        assert apply_all(spec, [
+            ("read", [], 7), ("write", [9], 0), ("read", [], 9),
+        ]) == [True] * 3
+
+    def test_stale_read_rejected(self):
+        spec = RegisterSpec()
+        assert apply_all(spec, [("write", [9], 0), ("read", [], 0)]) \
+            == [True, False]
+
+
+class TestStatePurity:
+    def test_apply_does_not_mutate_input_state(self):
+        spec = SetSpec()
+        s0 = spec.init()
+        spec.apply(s0, "add", (5,), 1)
+        ok, _ = spec.apply(s0, "contains", (5,), 0)
+        assert ok  # s0 unchanged: 5 still absent
+
+    def test_states_hashable(self):
+        for spec in (WSQDequeSpec(), QueueSpec(), SetSpec(),
+                     AllocatorSpec(), RegisterSpec(), StackSpec()):
+            state = spec.init()
+            hash(state)
+            ok, state2 = spec.apply(state, "put", (1,), 0)
+            hash(state2)

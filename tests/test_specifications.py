@@ -1,0 +1,133 @@
+"""Unit tests for the top-level specification classes."""
+
+from repro.spec import (
+    EMPTY,
+    GarbageFreeSpec,
+    LinearizabilitySpec,
+    MemorySafetySpec,
+    QueueSpec,
+    SequentialConsistencySpec,
+)
+from repro.vm.driver import ExecutionResult, ExecutionStatus
+from repro.vm.events import History
+
+
+def make_result(status=ExecutionStatus.OK, ops=(), error=None):
+    h = History()
+    for (tid, name, args, result, call, ret) in ops:
+        op = h.begin(tid, name, args, call)
+        op.result = result
+        op.ret_seq = ret
+    return ExecutionResult(status, h, [], steps=10, error=error)
+
+
+class TestMemorySafetySpec:
+    def test_ok_execution_passes(self):
+        assert MemorySafetySpec().check(make_result()) is None
+
+    def test_memory_violation_reported(self):
+        result = make_result(ExecutionStatus.MEMORY_VIOLATION,
+                             error="NULL deref")
+        message = MemorySafetySpec().check(result)
+        assert message is not None
+        assert "NULL deref" in message
+
+    def test_assertion_violation_reported(self):
+        result = make_result(ExecutionStatus.ASSERTION_VIOLATION,
+                             error="assert at line 3")
+        assert MemorySafetySpec().check(result) is not None
+
+
+class TestHistorySpecs:
+    def ops_fifo_ok(self):
+        return [
+            (0, "enqueue", (1,), 0, 1, 2),
+            (1, "dequeue", (), 1, 3, 4),
+        ]
+
+    def ops_stale_empty(self):
+        # Non-overlapping enqueue then EMPTY dequeue: SC-legal, not
+        # linearizable.
+        return [
+            (0, "enqueue", (1,), 0, 1, 2),
+            (1, "dequeue", (), EMPTY, 5, 6),
+        ]
+
+    def test_sc_accepts_legal_history(self):
+        spec = SequentialConsistencySpec(QueueSpec())
+        assert spec.check(make_result(ops=self.ops_fifo_ok())) is None
+
+    def test_sc_weaker_than_lin(self):
+        result = make_result(ops=self.ops_stale_empty())
+        assert SequentialConsistencySpec(QueueSpec()).check(result) is None
+        assert LinearizabilitySpec(QueueSpec()).check(result) is not None
+
+    def test_crash_dominates_history_check(self):
+        result = make_result(ExecutionStatus.MEMORY_VIOLATION,
+                             ops=self.ops_fifo_ok(), error="boom")
+        assert SequentialConsistencySpec(QueueSpec()).check(result) is not None
+        assert LinearizabilitySpec(QueueSpec()).check(result) is not None
+
+    def test_sc_rejects_garbage_value(self):
+        result = make_result(ops=[(0, "dequeue", (), 42, 1, 2)])
+        assert SequentialConsistencySpec(QueueSpec()).check(result) is not None
+
+
+class TestGarbageFreeSpec:
+    def test_returned_task_must_have_been_put(self):
+        spec = GarbageFreeSpec(multiplicity=None)
+        ok = make_result(ops=[
+            (0, "put", (7,), 0, 1, 2),
+            (1, "steal", (), 7, 3, 4),
+        ])
+        assert spec.check(ok) is None
+        bad = make_result(ops=[
+            (0, "put", (7,), 0, 1, 2),
+            (1, "steal", (), 9, 3, 4),
+        ])
+        assert spec.check(bad) is not None
+
+    def test_overlapping_put_and_steal_allowed(self):
+        # steal invoked before put but returning after it started: legal.
+        spec = GarbageFreeSpec(multiplicity=None)
+        result = make_result(ops=[
+            (1, "steal", (), 7, 1, 10),
+            (0, "put", (7,), 0, 2, 3),
+        ])
+        assert spec.check(result) is None
+
+    def test_value_returned_before_any_put_is_garbage(self):
+        spec = GarbageFreeSpec(multiplicity=None)
+        result = make_result(ops=[
+            (1, "steal", (), 7, 1, 2),
+            (0, "put", (7,), 0, 5, 6),
+        ])
+        assert spec.check(result) is not None
+
+    def test_duplicates_allowed_with_unbounded_multiplicity(self):
+        spec = GarbageFreeSpec(multiplicity=None)
+        result = make_result(ops=[
+            (0, "put", (7,), 0, 1, 2),
+            (0, "take", (), 7, 3, 4),
+            (1, "steal", (), 7, 5, 6),
+        ])
+        assert spec.check(result) is None
+
+    def test_duplicates_rejected_with_multiplicity_one(self):
+        spec = GarbageFreeSpec(multiplicity=1)
+        result = make_result(ops=[
+            (0, "put", (7,), 0, 1, 2),
+            (0, "take", (), 7, 3, 4),
+            (1, "steal", (), 7, 5, 6),
+        ])
+        assert spec.check(result) is not None
+
+    def test_empty_results_ignored(self):
+        spec = GarbageFreeSpec(multiplicity=None)
+        result = make_result(ops=[(1, "steal", (), EMPTY, 1, 2)])
+        assert spec.check(result) is None
+
+    def test_crash_reported(self):
+        spec = GarbageFreeSpec()
+        result = make_result(ExecutionStatus.MEMORY_VIOLATION, error="x")
+        assert spec.check(result) is not None

@@ -1,0 +1,83 @@
+"""Unit tests for fence enforcement (Algorithm 2)."""
+
+from repro.ir import Const, FenceKind, GlobalVar, IRBuilder, Module, Reg, Sym
+from repro.ir.instructions import Fence
+from repro.memory.predicates import OrderingPredicate
+from repro.synth import enforce, synthesized_fences
+
+
+def two_store_module():
+    m = Module()
+    m.add_global(GlobalVar("X"))
+    m.add_global(GlobalVar("Y"))
+    b = IRBuilder(m, "f")
+    b.cur_line = 10
+    s1 = b.store(Const(1), Sym("X"))
+    b.cur_line = 11
+    s2 = b.store(Const(2), Sym("Y"))
+    b.cur_line = 12
+    b.load(Reg("r"), Sym("X"))
+    b.ret()
+    b.finish()
+    return m, s1, s2
+
+
+class TestEnforce:
+    def test_fence_inserted_after_store(self):
+        m, s1, s2 = two_store_module()
+        pred = OrderingPredicate(s1.label, s2.label, FenceKind.ST_ST)
+        placements = enforce(m, [pred])
+        assert len(placements) == 1
+        fn = m.function("f")
+        fence = fn.body[fn.index_of(s1.label) + 1]
+        assert isinstance(fence, Fence)
+        assert fence.kind is FenceKind.ST_ST
+        assert fence.synthesized
+
+    def test_placement_reports_source_lines(self):
+        m, s1, s2 = two_store_module()
+        pred = OrderingPredicate(s1.label, s2.label, FenceKind.ST_ST)
+        placement = enforce(m, [pred])[0]
+        assert placement.function == "f"
+        assert placement.after_line == 10
+        assert placement.before_line == 11
+        assert placement.location() == "(f, 10:11)"
+
+    def test_duplicate_predicate_inserts_once(self):
+        m, s1, s2 = two_store_module()
+        pred = OrderingPredicate(s1.label, s2.label, FenceKind.ST_ST)
+        assert len(enforce(m, [pred])) == 1
+        assert enforce(m, [pred]) == []
+        assert len(synthesized_fences(m)) == 1
+
+    def test_stronger_fence_replaces_nothing_but_adds(self):
+        m, s1, s2 = two_store_module()
+        weak = OrderingPredicate(s1.label, s2.label, FenceKind.ST_ST)
+        strong = OrderingPredicate(s1.label, s2.label, FenceKind.ST_LD)
+        enforce(m, [weak])
+        placements = enforce(m, [strong])
+        assert len(placements) == 1
+        kinds = {f.kind for f in synthesized_fences(m)}
+        assert FenceKind.ST_LD in kinds
+
+    def test_merge_drops_adjacent_redundant_fences(self):
+        m, s1, s2 = two_store_module()
+        # Two predicates that would place fences after s1 (same spot via
+        # merge): one directly, one after s2 but with nothing in between
+        # except the other fence... construct back-to-back case:
+        p1 = OrderingPredicate(s1.label, s2.label, FenceKind.FULL)
+        placements = enforce(m, [p1], merge=True)
+        assert len(placements) == 1
+        # Insert a weaker one right after the same store: merge kills it.
+        p2 = OrderingPredicate(s1.label, s2.label, FenceKind.ST_ST)
+        assert enforce(m, [p2], merge=True) == []
+
+    def test_synthesized_fences_ignores_source_fences(self):
+        m = Module()
+        m.add_global(GlobalVar("X"))
+        b = IRBuilder(m, "f")
+        b.fence(FenceKind.FULL)  # a programmer-written fence
+        b.store(Const(1), Sym("X"))
+        b.ret()
+        b.finish()
+        assert synthesized_fences(m) == []

@@ -1,0 +1,182 @@
+"""End-to-end tests of the synthesis engine on small litmus programs."""
+
+import pytest
+
+from repro.minic import compile_source
+from repro.spec import MemorySafetySpec, RegisterSpec, SequentialConsistencySpec
+from repro.synth import SynthesisConfig, SynthesisEngine, SynthesisOutcome
+
+# Message passing through a data/flag pair: the classic PSO litmus.  The
+# assert makes staleness a crash, so MemorySafetySpec suffices.
+MP_ASSERT = """
+int DATA;
+int FLAG;
+
+void reader() {
+  while (FLAG == 0) {}
+  assert(DATA == 1);
+}
+
+int main() {
+  int t = fork(reader);
+  DATA = 1;
+  FLAG = 1;
+  join(t);
+  return 0;
+}
+"""
+
+# Dekker-style store buffering: both threads can read 0 under TSO.
+SB_ASSERT = """
+int X; int Y;
+int r1; int r2;
+
+void t1() {
+  X = 1;
+  r1 = Y;
+}
+
+int main() {
+  int t = fork(t1);
+  Y = 1;
+  r2 = X;
+  join(t);
+  assert(r1 == 1 || r2 == 1);
+  return 0;
+}
+"""
+
+
+def engine(model, k=300, rounds=8, seed=3, flush_prob=0.3, **kw):
+    return SynthesisEngine(SynthesisConfig(
+        memory_model=model, flush_prob=flush_prob,
+        executions_per_round=k, max_rounds=rounds, seed=seed, **kw))
+
+
+class TestMessagePassing:
+    def test_pso_infers_store_store_fence(self):
+        module = compile_source(MP_ASSERT)
+        result = engine("pso").synthesize(module, MemorySafetySpec())
+        assert result.outcome is SynthesisOutcome.CLEAN
+        assert result.fence_count >= 1
+        # The fence sits in main between the DATA and FLAG stores.
+        locations = result.fence_locations()
+        assert any("(main" in loc for loc in locations)
+
+    def test_tso_needs_no_fence(self):
+        module = compile_source(MP_ASSERT)
+        result = engine("tso", flush_prob=0.1).synthesize(
+            module, MemorySafetySpec())
+        assert result.outcome is SynthesisOutcome.CLEAN
+        assert result.fence_count == 0
+
+    def test_repaired_program_is_clean(self):
+        module = compile_source(MP_ASSERT)
+        result = engine("pso").synthesize(module, MemorySafetySpec())
+        checker = engine("pso", seed=1234)
+        runs, violations, _ = checker.test_program(
+            result.program, MemorySafetySpec(), executions=400)
+        assert violations == 0
+
+
+class TestStoreBuffering:
+    def test_tso_infers_store_load_fence(self):
+        module = compile_source(SB_ASSERT)
+        result = engine("tso", flush_prob=0.1, k=400).synthesize(
+            module, MemorySafetySpec())
+        assert result.outcome is SynthesisOutcome.CLEAN
+        assert result.fence_count >= 1
+        kinds = {p.kind.value for p in result.placements}
+        assert "st_ld" in kinds or "full" in kinds
+
+    def test_sc_model_never_violates(self):
+        module = compile_source(SB_ASSERT)
+        result = engine("sc").synthesize(module, MemorySafetySpec())
+        assert result.outcome is SynthesisOutcome.CLEAN
+        assert result.fence_count == 0
+
+
+class TestCannotFix:
+    def test_logic_bug_is_unfixable(self):
+        src = """
+        int main() {
+          assert(1 == 2);
+          return 0;
+        }
+        """
+        module = compile_source(src)
+        result = engine("pso").synthesize(module, MemorySafetySpec())
+        assert result.outcome is SynthesisOutcome.CANNOT_FIX
+        assert result.fence_count == 0
+
+    def test_abort_policy_stops_immediately(self):
+        src = "int main() { assert(0); return 0; }"
+        module = compile_source(src)
+        eng = engine("pso", abort_on_unfixable=True)
+        result = eng.synthesize(module, MemorySafetySpec())
+        assert result.outcome is SynthesisOutcome.CANNOT_FIX
+        assert result.rounds[0].unfixable == 1
+
+
+class TestRounds:
+    def test_round_reports_populated(self):
+        module = compile_source(MP_ASSERT)
+        result = engine("pso").synthesize(module, MemorySafetySpec())
+        first = result.rounds[0]
+        assert first.executions > 0
+        assert first.violations > 0
+        assert first.clauses > 0
+        last = result.rounds[-1]
+        assert last.violations == 0
+
+    def test_total_executions_sum(self):
+        module = compile_source(MP_ASSERT)
+        result = engine("pso", k=123).synthesize(module, MemorySafetySpec())
+        assert result.total_executions == sum(
+            r.executions for r in result.rounds)
+        assert result.total_executions % 123 == 0
+
+    def test_round_limit_outcome(self):
+        # Zero rounds allowed: engine gives up immediately.
+        module = compile_source(MP_ASSERT)
+        eng = SynthesisEngine(SynthesisConfig(
+            memory_model="pso", max_rounds=0))
+        result = eng.synthesize(module, MemorySafetySpec())
+        assert result.outcome is SynthesisOutcome.ROUND_LIMIT
+
+
+class TestCheckOnlyMode:
+    def test_test_program_does_not_mutate(self):
+        module = compile_source(MP_ASSERT)
+        before = module.instruction_count()
+        eng = engine("pso")
+        runs, violations, example = eng.test_program(
+            module, MemorySafetySpec(), executions=200)
+        assert runs == 200
+        assert violations > 0
+        assert example is not None
+        assert module.instruction_count() == before
+
+    def test_history_spec_in_check_mode(self):
+        src = """
+        int R;
+        int read() { return R; }
+        void write(int v) { R = v; }
+        int main() { write(1); read(); return 0; }
+        """
+        module = compile_source(src)
+        eng = engine("sc")
+        runs, violations, _ = eng.test_program(
+            module, SequentialConsistencySpec(RegisterSpec()),
+            operations=("read", "write"), executions=50)
+        assert violations == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        module = compile_source(MP_ASSERT)
+        r1 = engine("pso", seed=77).synthesize(module, MemorySafetySpec())
+        r2 = engine("pso", seed=77).synthesize(module, MemorySafetySpec())
+        assert r1.fence_locations() == r2.fence_locations()
+        assert [r.violations for r in r1.rounds] == \
+            [r.violations for r in r2.rounds]

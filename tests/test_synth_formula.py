@@ -1,0 +1,64 @@
+"""Unit tests for the repair formula Φ."""
+
+from repro.ir.instructions import FenceKind
+from repro.memory.predicates import OrderingPredicate
+from repro.synth import RepairFormula
+
+
+def pred(l, k, kind=FenceKind.ST_ST):
+    return OrderingPredicate(l, k, kind)
+
+
+class TestRepairFormula:
+    def test_empty_execution_is_unfixable(self):
+        formula = RepairFormula()
+        assert not formula.add_execution([])
+        assert formula.num_clauses == 0
+
+    def test_single_execution_single_predicate(self):
+        formula = RepairFormula()
+        assert formula.add_execution([pred(1, 2)])
+        repair = formula.minimal_repair()
+        assert [p.key for p in repair] == [(1, 2)]
+
+    def test_duplicate_clauses_collapse(self):
+        formula = RepairFormula()
+        formula.add_execution([pred(1, 2), pred(3, 4)])
+        formula.add_execution([pred(3, 4), pred(1, 2)])
+        assert formula.num_clauses == 1
+
+    def test_minimal_repair_prefers_shared_predicate(self):
+        formula = RepairFormula()
+        shared = pred(5, 6)
+        formula.add_execution([pred(1, 2), shared])
+        formula.add_execution([shared, pred(3, 4)])
+        repair = formula.minimal_repair()
+        assert [p.key for p in repair] == [(5, 6)]
+
+    def test_disjoint_clauses_need_two_predicates(self):
+        formula = RepairFormula()
+        formula.add_execution([pred(1, 2)])
+        formula.add_execution([pred(3, 4)])
+        repair = formula.minimal_repair()
+        assert {p.key for p in repair} == {(1, 2), (3, 4)}
+
+    def test_kind_merging_across_executions(self):
+        formula = RepairFormula()
+        formula.add_execution([pred(1, 2, FenceKind.ST_ST)])
+        formula.add_execution([pred(1, 2, FenceKind.ST_LD)])
+        repair = formula.minimal_repair()
+        assert repair[0].kind is FenceKind.FULL
+
+    def test_reset_clears_clauses_keeps_identification(self):
+        formula = RepairFormula()
+        formula.add_execution([pred(1, 2)])
+        formula.reset()
+        assert formula.num_clauses == 0
+        assert formula.minimal_repair() == []
+        formula.add_execution([pred(1, 2)])
+        assert formula.num_predicates == 1  # same variable reused
+
+    def test_predicates_listing(self):
+        formula = RepairFormula()
+        formula.add_execution([pred(9, 10), pred(1, 2)])
+        assert [p.key for p in formula.predicates()] == [(9, 10), (1, 2)]
