@@ -1,0 +1,158 @@
+"""Parallel execution scaling — serial vs multiprocess round fan-out.
+
+Times the synthesis engine on the WSQ (Chase-Lev, linearizability) and
+litmus (message-passing, memory safety) workloads with the serial backend
+and with 2/4/N worker processes, verifying that every backend produces
+identical results, and writes the speedup curve plus per-round wall times
+to ``BENCH_parallel.json`` at the repository root (and a readable table
+to ``benchmarks/results/parallel_scaling.txt``) so subsequent PRs have a
+perf trajectory.
+
+Honesty note: speedup is *measured*, never assumed.  The ≥1.7× @ 4
+workers assertion only runs on machines with at least 4 CPUs — on fewer
+cores the fan-out cannot beat serial and the JSON records that fact.
+"""
+
+import json
+import os
+import platform
+import time
+
+from common import format_table, write_result
+
+from repro.algorithms import ALGORITHMS
+from repro.minic import compile_source
+from repro.spec import MemorySafetySpec
+from repro.synth import SynthesisConfig, SynthesisEngine
+
+ROOT_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "BENCH_parallel.json")
+
+MP_ASSERT = """
+int DATA;
+int FLAG;
+
+void reader() {
+  while (FLAG == 0) {}
+  assert(DATA == 1);
+}
+
+int main() {
+  int t = fork(reader);
+  DATA = 1;
+  FLAG = 1;
+  join(t);
+  return 0;
+}
+"""
+
+
+def wsq_workload():
+    bundle = ALGORITHMS["chase_lev"]
+    return dict(module=bundle.compile(), spec=bundle.spec("lin"),
+                entries=bundle.entries, operations=bundle.operations,
+                model="pso", flush_prob=0.2, executions=600, rounds=6,
+                seed=7)
+
+
+def litmus_workload():
+    return dict(module=compile_source(MP_ASSERT, "mp"),
+                spec=MemorySafetySpec(), entries=("main",), operations=(),
+                model="pso", flush_prob=0.3, executions=800, rounds=6,
+                seed=7)
+
+
+WORKLOADS = {"wsq": wsq_workload, "litmus": litmus_workload}
+
+
+def run_backend(workload, workers):
+    engine = SynthesisEngine(SynthesisConfig(
+        memory_model=workload["model"], flush_prob=workload["flush_prob"],
+        executions_per_round=workload["executions"],
+        max_rounds=workload["rounds"], seed=workload["seed"],
+        workers=workers))
+    start = time.perf_counter()
+    result = engine.synthesize(workload["module"], workload["spec"],
+                               entries=workload["entries"],
+                               operations=workload["operations"])
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def worker_counts():
+    cpus = os.cpu_count() or 1
+    counts = [None, 2, 4]
+    if cpus > 4:
+        counts.append(cpus)
+    return counts
+
+
+def test_parallel_scaling():
+    cpus = os.cpu_count() or 1
+    report = {
+        "benchmark": "parallel_scaling",
+        "machine": {
+            "cpu_count": cpus,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "workloads": {},
+    }
+    rows = []
+    for name, factory in WORKLOADS.items():
+        workload = factory()
+        curve = {}
+        serial_time = None
+        serial_signature = None
+        for workers in worker_counts():
+            result, elapsed = run_backend(factory(), workers)
+            label = "serial" if workers is None else "%dw" % workers
+            signature = (result.outcome.value, result.fence_locations(),
+                         [r.violations for r in result.rounds])
+            if serial_signature is None:
+                serial_time = elapsed
+                serial_signature = signature
+            # Determinism contract: every backend, same result.
+            assert signature == serial_signature, (name, label)
+            curve[label] = {
+                "workers": workers if workers is not None else 0,
+                "wall_s": round(elapsed, 4),
+                "per_round_wall_s": round(elapsed / len(result.rounds), 4),
+                "rounds": len(result.rounds),
+                "executions": result.total_executions,
+                "speedup_vs_serial": round(serial_time / elapsed, 3),
+            }
+            rows.append([name, label, "%.3f" % elapsed,
+                         "%.3f" % (elapsed / len(result.rounds)),
+                         "%.2fx" % (serial_time / elapsed),
+                         result.outcome.value])
+        report["workloads"][name] = {
+            "model": workload["model"],
+            "executions_per_round": workload["executions"],
+            "curve": curve,
+        }
+
+    wsq_4w = report["workloads"]["wsq"]["curve"]["4w"]["speedup_vs_serial"]
+    if cpus >= 4:
+        report["speedup_assertion"] = "asserted: wsq 4w >= 1.7x"
+        assert wsq_4w >= 1.7, \
+            "expected >=1.7x at 4 workers on WSQ, got %.2fx" % wsq_4w
+    else:
+        # A 1-core container cannot exhibit parallel speedup; record the
+        # measured number and the reason the assertion is vacuous.
+        report["speedup_assertion"] = (
+            "skipped: machine has %d CPU(s); 4-worker fan-out cannot beat "
+            "serial without parallel hardware (measured %.2fx)"
+            % (cpus, wsq_4w))
+
+    with open(ROOT_JSON, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    text = ("Parallel scaling — serial vs multiprocess rounds "
+            "(%d CPU(s))\n\n" % cpus
+            + format_table(
+                ["workload", "backend", "wall s", "per-round s",
+                 "speedup", "outcome"], rows)
+            + "\n\n%s\n" % report["speedup_assertion"])
+    write_result("parallel_scaling.txt", text)

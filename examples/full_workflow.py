@@ -11,8 +11,13 @@ A guided tour: write a buggy concurrent MiniC program, then
 5. **replay** — reproduce one of the recorded violating executions on the
    original program, and show it is gone on the repaired one.
 
-Run:  python examples/full_workflow.py
+Run:  python examples/full_workflow.py [--workers N]
+
+``--workers`` fans the sampling/synthesis rounds out to N worker
+processes (0 = one per CPU); the results are identical to the serial run.
 """
+
+import argparse
 
 from repro.memory import make_model
 from repro.minic import compile_source
@@ -58,7 +63,12 @@ def step(title):
     print("=" * 66)
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: serial; "
+                             "0 = one per CPU)")
+    args = parser.parse_args(argv)
     module = compile_source(PROGRAM, "seqlock_demo")
 
     step("1. exhaustive exploration (bounded variant)")
@@ -78,11 +88,11 @@ def main():
     step("2. sampling check (PSO, no repair)")
     engine = SynthesisEngine(SynthesisConfig(
         memory_model="pso", flush_prob=0.3, executions_per_round=400,
-        seed=3))
-    runs, violations, example = engine.test_program(
-        module, MemorySafetySpec())
-    print("%d violations in %d sampled runs" % (violations, runs))
-    print("e.g. %s" % example)
+        seed=3, workers=args.workers))
+    stats = engine.test_program(module, MemorySafetySpec())
+    print("%d violations in %d sampled runs (%d discarded)"
+          % (stats.violations, stats.runs, stats.discarded))
+    print("e.g. %s" % stats.example)
 
     step("3. dynamic fence synthesis")
     result = engine.synthesize(module, MemorySafetySpec())

@@ -49,6 +49,14 @@ SEQ_SPECS = {
 }
 
 
+def _workers_arg(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "must be 0 (one per CPU) or a positive worker count")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -81,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scheduler flush probability (default: "
                              "algorithm tuning, or 0.1/0.3 by model)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", "-j", type=_workers_arg, default=None,
+                        help="worker processes for round execution "
+                             "(default: in-process serial; 0 = one per "
+                             "CPU; results are identical either way)")
     parser.add_argument("--annotate", action="store_true",
                         help="print the source annotated with fences")
     parser.add_argument("--check-only", action="store_true",
@@ -166,16 +178,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     config = SynthesisConfig(
         memory_model=args.model, flush_prob=flush_prob,
         executions_per_round=args.executions, max_rounds=args.rounds,
-        seed=args.seed)
+        seed=args.seed, workers=args.workers)
     engine = SynthesisEngine(config)
 
     if args.check_only:
-        runs, violations, example = engine.test_program(
+        stats = engine.test_program(
             module, spec, entries=entries, operations=operations)
-        print("%d violations in %d executions" % (violations, runs))
-        if example:
-            print("e.g. %s" % example)
-        return 1 if violations else 0
+        print("%d violations in %d executions (%d discarded)"
+              % (stats.violations, stats.runs, stats.discarded))
+        if stats.example:
+            print("e.g. %s" % stats.example)
+        return 1 if stats.violations else 0
 
     result = engine.synthesize(module, spec, entries=entries,
                                operations=operations)

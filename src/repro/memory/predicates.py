@@ -65,36 +65,52 @@ class PredicateSink:
     The memory model reports each bypass event via :meth:`add`; duplicate
     label pairs are merged (their fence kinds combined).  After the
     execution, :meth:`predicates` is the paper's ``avoid(p)`` disjunction.
+
+    A sink can be reused across many executions (:meth:`clear` between
+    runs).  Predicate objects are interned per ``(l, k, kind)``, so a hot
+    loop that keeps seeing the same bypasses allocates nothing; callers
+    must treat the returned predicates as immutable.
     """
 
     def __init__(self) -> None:
-        self._by_key: Dict[Tuple[int, int], OrderingPredicate] = {}
+        self._kinds: Dict[Tuple[int, int], FenceKind] = {}
+        self._intern: Dict[Tuple[int, int, FenceKind],
+                           OrderingPredicate] = {}
 
     def add(self, store_label: int, access_label: int,
             kind: FenceKind) -> None:
         key = (store_label, access_label)
-        existing = self._by_key.get(key)
+        existing = self._kinds.get(key)
         if existing is None:
-            self._by_key[key] = OrderingPredicate(
-                store_label, access_label, kind)
-        else:
-            existing.kind = merge_kinds(existing.kind, kind)
+            self._kinds[key] = kind
+        elif existing is not kind:
+            self._kinds[key] = merge_kinds(existing, kind)
 
     def predicates(self) -> List[OrderingPredicate]:
         """The collected predicates, in deterministic (label-pair) order."""
-        return [self._by_key[k] for k in sorted(self._by_key)]
+        out = []
+        intern = self._intern
+        for key in sorted(self._kinds):
+            kind = self._kinds[key]
+            pred = intern.get((key[0], key[1], kind))
+            if pred is None:
+                pred = OrderingPredicate(key[0], key[1], kind)
+                intern[(key[0], key[1], kind)] = pred
+            out.append(pred)
+        return out
 
     def keys(self) -> FrozenSet[Tuple[int, int]]:
-        return frozenset(self._by_key)
+        return frozenset(self._kinds)
 
     def clear(self) -> None:
-        self._by_key.clear()
+        """Forget the current execution (the intern table is kept)."""
+        self._kinds.clear()
 
     def __len__(self) -> int:
-        return len(self._by_key)
+        return len(self._kinds)
 
     def __bool__(self) -> bool:
-        return bool(self._by_key)
+        return bool(self._kinds)
 
     def __iter__(self):
         return iter(self.predicates())

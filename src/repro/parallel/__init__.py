@@ -1,0 +1,18 @@
+"""Parallel execution backends for the synthesis engine.
+
+The engine's cost is dominated by rounds of independent executions under
+the flush-delaying scheduler; this package fans those rounds out across
+worker processes while keeping results byte-identical to the serial
+backend (summaries are merged in execution-index order).
+"""
+
+from .pool import ExecutionPool, Job, make_pool, resolve_workers
+from .process import ProcessPool
+from .serial import SerialPool, run_jobs
+from .summary import ExecutionSummary, summarize_execution
+
+__all__ = [
+    "ExecutionPool", "ExecutionSummary", "Job", "ProcessPool",
+    "SerialPool", "make_pool", "resolve_workers", "run_jobs",
+    "summarize_execution",
+]

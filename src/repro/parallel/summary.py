@@ -1,0 +1,112 @@
+"""Compact, picklable per-execution records.
+
+Worker processes cannot (cheaply) ship live VM objects back to the
+engine, so each execution is condensed into an :class:`ExecutionSummary`:
+plain tuples and strings only, small enough that a round of hundreds of
+executions costs little IPC.  The summary carries everything the merge
+step needs — status, the spec verdict, the ``avoid(p)`` predicate tuples,
+the operation history events, and the (entry, seed) pair that makes the
+execution reproducible as a :class:`~repro.sched.replay.Witness`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ir.instructions import FenceKind
+from ..memory.predicates import OrderingPredicate
+from ..vm.driver import ExecutionResult, ExecutionStatus
+from ..vm.events import History
+
+#: ``(store_label, access_label, fence_kind_value)``
+PredicateTuple = Tuple[int, int, str]
+
+#: ``(tid, name, args, result, call_seq, ret_seq)``
+OperationTuple = Tuple[int, str, Tuple[int, ...], Optional[int],
+                       int, Optional[int]]
+
+_UNUSABLE = (ExecutionStatus.TIMEOUT.value, ExecutionStatus.DEADLOCK.value)
+
+
+class ExecutionSummary:
+    """One execution, flattened for IPC and deterministic merging.
+
+    ``index`` is the execution's global position in its round; the merge
+    step folds summaries in increasing index order, which is what makes
+    the parallel backend byte-compatible with the serial one.
+    """
+
+    __slots__ = ("index", "entry", "seed", "status", "error", "steps",
+                 "predicates", "operations", "violation")
+
+    def __init__(self, index: int, entry: str, seed: int, status: str,
+                 error: Optional[str], steps: int,
+                 predicates: Tuple[PredicateTuple, ...],
+                 operations: Tuple[OperationTuple, ...],
+                 violation: Optional[str]) -> None:
+        self.index = index
+        self.entry = entry
+        self.seed = seed
+        self.status = status            # ExecutionStatus value string
+        self.error = error
+        self.steps = steps
+        self.predicates = predicates
+        self.operations = operations
+        self.violation = violation      # spec.check message, None if OK
+
+    # -- pickling (needed explicitly because of __slots__) -------------
+
+    def __reduce__(self):
+        return (ExecutionSummary,
+                (self.index, self.entry, self.seed, self.status, self.error,
+                 self.steps, self.predicates, self.operations,
+                 self.violation))
+
+    # -- derived views -------------------------------------------------
+
+    @property
+    def usable(self) -> bool:
+        """True if the run is meaningful for checking (not cut off)."""
+        return self.status not in _UNUSABLE
+
+    def predicate_objects(self) -> List[OrderingPredicate]:
+        """Rebuild the ``avoid(p)`` disjunction, in recorded order."""
+        return [OrderingPredicate(l, k, FenceKind(kind))
+                for (l, k, kind) in self.predicates]
+
+    def history(self) -> History:
+        """Rebuild the operation history (debugging / reporting)."""
+        history = History()
+        for (tid, name, args, result, call_seq, ret_seq) in self.operations:
+            op = history.begin(tid, name, args, call_seq)
+            op.result = result
+            op.ret_seq = ret_seq
+        return history
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExecutionSummary):
+            return NotImplemented
+        return all(getattr(self, slot) == getattr(other, slot)
+                   for slot in ExecutionSummary.__slots__)
+
+    def __hash__(self) -> int:
+        return hash((self.index, self.entry, self.seed, self.status))
+
+    def __repr__(self) -> str:
+        return "<ExecutionSummary #%d %s/%d %s%s>" % (
+            self.index, self.entry, self.seed, self.status,
+            " VIOLATION" if self.violation else "")
+
+
+def summarize_execution(index: int, entry: str, seed: int,
+                        result: ExecutionResult,
+                        violation: Optional[str]) -> ExecutionSummary:
+    """Flatten one :class:`ExecutionResult` into a summary record."""
+    predicates = tuple((p.store_label, p.access_label, p.kind.value)
+                       for p in result.predicates)
+    operations = tuple((op.tid, op.name, op.args, op.result,
+                        op.call_seq, op.ret_seq)
+                       for op in result.history)
+    return ExecutionSummary(index, entry, seed, result.status.value,
+                            result.error, result.steps, predicates,
+                            operations, violation)

@@ -77,22 +77,26 @@ class Witness:
     """A reproducible violating execution: entry point + scheduler seed.
 
     Because every component is deterministic per seed, (entry, seed,
-    flush_prob) pins down the full execution; :meth:`reproduce` re-runs it.
+    flush_prob, por) pins down the full execution; :meth:`scheduler`
+    rebuilds the exact scheduler that produced it.
     """
 
     def __init__(self, entry: str, seed: int, flush_prob: float,
-                 message: str) -> None:
+                 message: str, por: bool = True) -> None:
         self.entry = entry
         self.seed = seed
         self.flush_prob = flush_prob
         self.message = message
+        self.por = por
 
     def scheduler(self, record: bool = False) -> Scheduler:
         if record:
             return TracingScheduler(seed=self.seed,
-                                    flush_prob=self.flush_prob)
+                                    flush_prob=self.flush_prob,
+                                    por=self.por)
         return FlushDelayScheduler(seed=self.seed,
-                                   flush_prob=self.flush_prob)
+                                   flush_prob=self.flush_prob,
+                                   por=self.por)
 
     def __repr__(self) -> str:
         return "<Witness %s seed=%d p=%.2f: %s>" % (

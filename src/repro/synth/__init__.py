@@ -8,6 +8,8 @@ from .enforce import (
     synthesized_fences,
 )
 from .engine import (
+    CHECK_SEED_STRIDE,
+    CheckStats,
     RoundReport,
     SynthesisConfig,
     SynthesisEngine,
@@ -18,7 +20,8 @@ from .formula import RepairFormula
 from .report import annotate_source, summarize
 
 __all__ = [
-    "CAS_DUMMY_GLOBAL", "FencePlacement", "RepairFormula", "RoundReport",
+    "CAS_DUMMY_GLOBAL", "CHECK_SEED_STRIDE", "CheckStats",
+    "FencePlacement", "RepairFormula", "RoundReport",
     "SynthesisConfig", "SynthesisEngine", "SynthesisOutcome",
     "SynthesisResult", "annotate_source", "enforce", "enforce_with_cas",
     "summarize", "synthesized_fences",

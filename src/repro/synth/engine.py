@@ -14,17 +14,22 @@ as in DFENCE — by the executions-per-round count K.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..ir.module import Module
-from ..memory.models import make_model
-from ..sched.flush_random import FlushDelayScheduler
+from ..parallel.pool import ExecutionPool, Job, make_pool
 from ..sched.replay import Witness
 from ..spec.specifications import Specification
-from ..vm.driver import run_execution
 from ..vm.interp import DEFAULT_MAX_STEPS
 from .enforce import FencePlacement, enforce, synthesized_fences
 from .formula import RepairFormula
+
+#: Seed offset applied to check-only (``test_program``) runs so that
+#: validation never replays the exact executions synthesis already saw:
+#: ``synthesize`` uses seeds ``cfg.seed + 0 .. cfg.seed + rounds*K - 1``,
+#: while check-only sampling starts at ``cfg.seed + CHECK_SEED_STRIDE``.
+#: The stride (2**24 ≈ 16.7M) exceeds any realistic rounds×K product.
+CHECK_SEED_STRIDE = 1 << 24
 
 
 class SynthesisOutcome(enum.Enum):
@@ -34,13 +39,22 @@ class SynthesisOutcome(enum.Enum):
 
 
 class SynthesisConfig:
-    """Tunable parameters of the engine (the paper's four dimensions)."""
+    """Tunable parameters of the engine (the paper's four dimensions).
+
+    ``workers`` selects the execution backend: ``None`` runs every
+    execution in-process (serial, the default); ``0`` fans rounds out to
+    one worker process per CPU; a positive integer uses exactly that many
+    worker processes.  All settings produce identical results — see
+    ``repro.parallel`` for the determinism contract.
+    """
 
     def __init__(self, memory_model: str = "pso", flush_prob: float = 0.5,
                  executions_per_round: int = 200, max_rounds: int = 12,
                  seed: int = 0, max_steps: int = DEFAULT_MAX_STEPS,
                  merge_fences: bool = True, por: bool = True,
-                 abort_on_unfixable: bool = False) -> None:
+                 abort_on_unfixable: bool = False,
+                 workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None) -> None:
         self.memory_model = memory_model
         self.flush_prob = flush_prob
         self.executions_per_round = executions_per_round
@@ -56,6 +70,9 @@ class SynthesisConfig:
         #: one blind-spot execution then cannot mask repairs that other
         #: violating executions of the same round do expose.
         self.abort_on_unfixable = abort_on_unfixable
+        self.workers = workers
+        #: Jobs per worker batch (None → sized by the pool).
+        self.chunk_size = chunk_size
 
 
 class RoundReport:
@@ -121,11 +138,60 @@ class SynthesisResult:
             self.total_executions)
 
 
+class CheckStats:
+    """Outcome of a check-only (``test_program``) sampling run.
+
+    ``runs`` counts completed executions, ``discarded`` the subset that
+    was cut off (timeout/deadlock) and therefore never judged against the
+    spec; ``violations`` only counts usable runs.  Unpacks like the legacy
+    3-tuple: ``runs, violations, example = engine.test_program(...)``.
+    """
+
+    __slots__ = ("runs", "violations", "discarded", "example")
+
+    def __init__(self, runs: int, violations: int, discarded: int,
+                 example: Optional[str]) -> None:
+        self.runs = runs
+        self.violations = violations
+        self.discarded = discarded
+        self.example = example
+
+    @property
+    def usable(self) -> int:
+        """Executions that actually reached the specification check."""
+        return self.runs - self.discarded
+
+    def __iter__(self):
+        """Legacy unpacking: ``(runs, violations, example)``."""
+        yield self.runs
+        yield self.violations
+        yield self.example
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CheckStats):
+            return NotImplemented
+        return (self.runs == other.runs
+                and self.violations == other.violations
+                and self.discarded == other.discarded
+                and self.example == other.example)
+
+    def __repr__(self) -> str:
+        return "<CheckStats %d runs, %d violations, %d discarded>" % (
+            self.runs, self.violations, self.discarded)
+
+
 class SynthesisEngine:
     """Runs Algorithm 1 for one program/spec/model combination."""
 
     def __init__(self, config: SynthesisConfig) -> None:
         self.config = config
+
+    def _make_pool(self) -> ExecutionPool:
+        """Build the execution backend selected by ``config.workers``."""
+        cfg = self.config
+        return make_pool(cfg.workers, cfg.memory_model, cfg.flush_prob,
+                         por=cfg.por, max_steps=cfg.max_steps,
+                         chunk_size=cfg.chunk_size)
 
     # ------------------------------------------------------------------
 
@@ -138,33 +204,86 @@ class SynthesisEngine:
         program.  ``entries`` lists the client entry functions (executions
         rotate through them, broadening coverage); ``operations`` names the
         functions recorded in histories.
+
+        Each round's K executions run on the configured execution pool
+        (serial in-process by default, multiprocess with ``workers`` set);
+        summaries are folded in execution-index order, so the result is
+        identical for every backend.
         """
         cfg = self.config
         module = program.clone()
-        model = make_model(cfg.memory_model)
         rounds: List[RoundReport] = []
         placements: List[FencePlacement] = []
         exec_counter = 0
 
-        for round_index in range(cfg.max_rounds):
-            report = RoundReport(round_index)
-            rounds.append(report)
-            formula = RepairFormula()
+        with self._make_pool() as pool:
+            pool.broadcast(module, spec, operations)
+            for round_index in range(cfg.max_rounds):
+                report = RoundReport(round_index)
+                rounds.append(report)
+                formula = RepairFormula()
 
-            for _ in range(cfg.executions_per_round):
-                entry = entries[exec_counter % len(entries)]
-                seed = cfg.seed + exec_counter
-                exec_counter += 1
-                scheduler = FlushDelayScheduler(
-                    seed=seed, flush_prob=cfg.flush_prob, por=cfg.por)
-                result = run_execution(
-                    module, model, scheduler, entry=entry,
-                    operations=operations, max_steps=cfg.max_steps)
+                jobs: List[Job] = []
+                for _ in range(cfg.executions_per_round):
+                    entry = entries[exec_counter % len(entries)]
+                    jobs.append((exec_counter, entry,
+                                 cfg.seed + exec_counter))
+                    exec_counter += 1
+
+                aborted = self._fold_round(pool, jobs, report, formula)
+                report.clauses = formula.num_clauses
+                report.distinct_predicates = formula.num_predicates
+                if aborted:
+                    return SynthesisResult(
+                        module, SynthesisOutcome.CANNOT_FIX, rounds,
+                        self._surviving(module, placements))
+
+                if report.violations == 0:
+                    return SynthesisResult(
+                        module, SynthesisOutcome.CLEAN, rounds,
+                        self._surviving(module, placements))
+
+                if formula.num_clauses == 0:
+                    # Every violation this round was unfixable: the
+                    # property fails independently of memory-model
+                    # reordering (e.g. the algorithm itself is not
+                    # linearizable).
+                    return SynthesisResult(
+                        module, SynthesisOutcome.CANNOT_FIX, rounds,
+                        self._surviving(module, placements))
+
+                repair = formula.minimal_repair()
+                if repair is None:
+                    return SynthesisResult(
+                        module, SynthesisOutcome.CANNOT_FIX, rounds,
+                        self._surviving(module, placements))
+                inserted = enforce(module, repair, merge=cfg.merge_fences)
+                report.inserted = inserted
+                placements.extend(inserted)
+                # The module changed: re-publish it to the workers for the
+                # next round.
+                pool.broadcast(module, spec, operations)
+
+        return SynthesisResult(module, SynthesisOutcome.ROUND_LIMIT, rounds,
+                               self._surviving(module, placements))
+
+    def _fold_round(self, pool: ExecutionPool, jobs: Sequence[Job],
+                    report: RoundReport, formula: RepairFormula) -> bool:
+        """Merge one round's summaries (in index order) into the report.
+
+        Returns True when the abort-on-unfixable policy fired; remaining
+        executions are then cancelled/skipped, exactly like the serial
+        loop's early return.
+        """
+        cfg = self.config
+        summaries = pool.run(jobs)
+        try:
+            for summary in summaries:
                 report.executions += 1
-                if not result.usable:
+                if not summary.usable:
                     report.discarded += 1
                     continue
-                message = spec.check(result)
+                message = summary.violation
                 if message is None:
                     continue
                 report.violations += 1
@@ -172,82 +291,73 @@ class SynthesisEngine:
                     report.example_violation = message
                 if len(report.witnesses) < 5:
                     report.witnesses.append(
-                        Witness(entry, seed, cfg.flush_prob, message))
-                if not formula.add_execution(result.predicates):
+                        Witness(summary.entry, summary.seed,
+                                cfg.flush_prob, message, por=cfg.por))
+                if not formula.add_execution(summary.predicate_objects()):
                     # avoid(p) is empty: no pending-store bypass occurred,
                     # so the predicate formalism offers no repair for this
                     # particular execution.
                     report.unfixable += 1
                     if cfg.abort_on_unfixable:
-                        report.clauses = formula.num_clauses
-                        return SynthesisResult(
-                            module, SynthesisOutcome.CANNOT_FIX, rounds,
-                            self._surviving(module, placements))
-
-            report.clauses = formula.num_clauses
-            report.distinct_predicates = formula.num_predicates
-
-            if report.violations == 0:
-                return SynthesisResult(
-                    module, SynthesisOutcome.CLEAN, rounds,
-                    self._surviving(module, placements))
-
-            if formula.num_clauses == 0:
-                # Every violation this round was unfixable: the property
-                # fails independently of memory-model reordering (e.g. the
-                # algorithm itself is not linearizable).
-                return SynthesisResult(
-                    module, SynthesisOutcome.CANNOT_FIX, rounds,
-                    self._surviving(module, placements))
-
-            repair = formula.minimal_repair()
-            if repair is None:
-                return SynthesisResult(
-                    module, SynthesisOutcome.CANNOT_FIX, rounds,
-                    self._surviving(module, placements))
-            inserted = enforce(module, repair, merge=cfg.merge_fences)
-            report.inserted = inserted
-            placements.extend(inserted)
-
-        return SynthesisResult(module, SynthesisOutcome.ROUND_LIMIT, rounds,
-                               self._surviving(module, placements))
+                        return True
+        finally:
+            summaries.close()
+        return False
 
     # ------------------------------------------------------------------
 
     def test_program(self, program: Module, spec: Specification,
                      entries: Sequence[str] = ("main",),
                      operations: Sequence[str] = (),
-                     executions: Optional[int] = None
-                     ) -> Tuple[int, int, Optional[str]]:
+                     executions: Optional[int] = None,
+                     stop_on_first_violation: bool = False) -> CheckStats:
         """Check-only mode: run executions without repairing.
 
-        Returns ``(runs, violations, example_message)`` — used both to
-        validate repaired programs and to test properties under SC (e.g.
-        the paper's finding that Cilk's THE queue is not linearizable even
+        Returns a :class:`CheckStats` (which still unpacks as the legacy
+        ``(runs, violations, example)`` triple) — used both to validate
+        repaired programs and to test properties under SC (e.g. the
+        paper's finding that Cilk's THE queue is not linearizable even
         without memory-model effects).
+
+        Seeds are offset by :data:`CHECK_SEED_STRIDE` from the synthesis
+        seed space, so validating a repaired program samples fresh
+        schedules instead of replaying the executions synthesis saw.
+
+        With ``stop_on_first_violation`` the sampling stops — and, on the
+        multiprocess backend, outstanding batches are cancelled — as soon
+        as one violation is found; ``runs`` then reflects only the
+        executions actually merged.  Plain counting always runs every
+        execution to completion.
         """
         cfg = self.config
         module = program  # no mutation in check-only mode
-        model = make_model(cfg.memory_model)
-        runs = executions if executions is not None \
+        total = executions if executions is not None \
             else cfg.executions_per_round
+        jobs: List[Job] = [
+            (i, entries[i % len(entries)], cfg.seed + CHECK_SEED_STRIDE + i)
+            for i in range(total)]
+        runs = 0
         violations = 0
+        discarded = 0
         example: Optional[str] = None
-        for i in range(runs):
-            entry = entries[i % len(entries)]
-            scheduler = FlushDelayScheduler(
-                seed=cfg.seed + i, flush_prob=cfg.flush_prob, por=cfg.por)
-            result = run_execution(module, model, scheduler, entry=entry,
-                                   operations=operations,
-                                   max_steps=cfg.max_steps)
-            if not result.usable:
-                continue
-            message = spec.check(result)
-            if message is not None:
-                violations += 1
-                if example is None:
-                    example = message
-        return runs, violations, example
+        with self._make_pool() as pool:
+            pool.broadcast(module, spec, operations)
+            summaries = pool.run(jobs)
+            try:
+                for summary in summaries:
+                    runs += 1
+                    if not summary.usable:
+                        discarded += 1
+                        continue
+                    if summary.violation is not None:
+                        violations += 1
+                        if example is None:
+                            example = summary.violation
+                        if stop_on_first_violation:
+                            break
+            finally:
+                summaries.close()
+        return CheckStats(runs, violations, discarded, example)
 
     @staticmethod
     def _surviving(module: Module,

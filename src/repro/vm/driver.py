@@ -76,14 +76,23 @@ def run_execution(module: Module, model: StoreBufferModel,
                   operations: Sequence[str] = (),
                   max_steps: int = DEFAULT_MAX_STEPS,
                   collect_predicates: bool = True,
-                  coverage: Optional[set] = None) -> ExecutionResult:
+                  coverage: Optional[set] = None,
+                  sink: Optional[PredicateSink] = None) -> ExecutionResult:
     """Run *module* once under *model*, driven by *scheduler*.
 
     The memory model instance is reset before use, so one instance can be
     reused across many executions.  Pass a set as *coverage* to collect
-    the labels of executed instructions across runs.
+    the labels of executed instructions across runs.  A *sink* may also be
+    supplied to reuse one :class:`PredicateSink` (and its intern table)
+    across a worker's run loop; it is cleared before the execution.
     """
-    sink = PredicateSink() if collect_predicates else None
+    if collect_predicates:
+        if sink is None:
+            sink = PredicateSink()
+        else:
+            sink.clear()
+    else:
+        sink = None
     vm = VM(module, model, entry=entry, entry_args=entry_args,
             operations=operations, sink=sink, max_steps=max_steps,
             coverage=coverage)

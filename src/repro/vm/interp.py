@@ -64,6 +64,12 @@ class VM:
         model.reset()
         model.attach(self._commit, sink)
 
+        #: Per-function precomputed dispatch lists (function name → list of
+        #: handlers aligned with ``fn.body``).  Function bodies only mutate
+        #: *between* executions (fence insertion), never during one, so the
+        #: cache is valid for this VM's lifetime.
+        self._fn_handlers: Dict[str, list] = {}
+
         self.threads: Dict[int, Thread] = {}
         self._next_tid = 0
         self._spawn(entry, [int(a) for a in entry_args])
@@ -173,10 +179,14 @@ class VM:
             return
 
         frame = thread.top
-        instr = frame.fn.body[frame.ip]
+        handlers = frame.handlers
+        if handlers is None:
+            handlers = frame.handlers = self._handlers_for(frame.fn)
+        ip = frame.ip
+        instr = frame.fn.body[ip]
         if self.coverage is not None:
             self.coverage.add(instr.label)
-        self._dispatch(thread, frame, instr)
+        handlers[ip](self, thread, frame, instr)
 
     def _complete_join(self, thread: Thread) -> None:
         target = self.threads.get(thread.join_target)
@@ -192,108 +202,141 @@ class VM:
 
     # ------------------------------------------------------------------
     # Instruction dispatch
+    #
+    # Handlers are resolved once per function (not per step, and not via
+    # an isinstance chain): ``_handlers_for`` maps a function body to a
+    # parallel list of bound-method slots, cached on the frame.
+
+    def _handlers_for(self, fn) -> list:
+        handlers = self._fn_handlers.get(fn.name)
+        if handlers is None:
+            table = _DISPATCH
+            try:
+                handlers = [table[instr.__class__] for instr in fn.body]
+            except KeyError:
+                bad = next(i for i in fn.body if i.__class__ not in table)
+                raise InterpreterError("unknown instruction %r" % (bad,))
+            self._fn_handlers[fn.name] = handlers
+        return handlers
 
     def _dispatch(self, thread: Thread, frame: Frame, instr: ins.Instr) -> None:
-        tid = thread.tid
+        """Execute one decoded instruction (table-driven)."""
+        handler = _DISPATCH.get(instr.__class__)
+        if handler is None:
+            raise InterpreterError("unknown instruction %r" % (instr,))
+        handler(self, thread, frame, instr)
 
-        if isinstance(instr, ins.ConstInstr):
-            frame.regs[instr.dst.name] = instr.value
-            frame.ip += 1
-        elif isinstance(instr, ins.Mov):
-            frame.regs[instr.dst.name] = self._value(instr.src, frame)
-            frame.ip += 1
-        elif isinstance(instr, ins.BinOp):
-            a = self._value(instr.a, frame)
-            b = self._value(instr.b, frame)
-            frame.regs[instr.dst.name] = _apply_binop(instr.binop, a, b)
-            frame.ip += 1
-        elif isinstance(instr, ins.UnOp):
-            a = self._value(instr.a, frame)
-            frame.regs[instr.dst.name] = _apply_unop(instr.unop, a)
-            frame.ip += 1
-        elif isinstance(instr, ins.Load):
-            addr = self._addr(instr.addr, frame)
-            self.memory.check(addr, "load", tid, instr.label)
-            hit, value = self.model.read(tid, addr, instr.label)
-            if not hit:
-                value = self.memory.read(addr)
-            frame.regs[instr.dst.name] = value
-            frame.ip += 1
-        elif isinstance(instr, ins.Store):
-            addr = self._addr(instr.addr, frame)
-            value = self._value(instr.src, frame)
-            self.model.write(tid, addr, value, instr.label)
-            frame.ip += 1
-        elif isinstance(instr, ins.Cas):
-            addr = self._addr(instr.addr, frame)
-            expected = self._value(instr.expected, frame)
-            new = self._value(instr.new, frame)
-            self.model.pre_cas(tid, addr, instr.label)
-            self.memory.check(addr, "cas", tid, instr.label)
-            if self.memory.read(addr) == expected:
-                self.memory.write(addr, new)
-                frame.regs[instr.dst.name] = 1
-            else:
-                frame.regs[instr.dst.name] = 0
-            frame.ip += 1
-        elif isinstance(instr, ins.Fence):
-            self.model.fence(tid, instr.kind)
-            frame.ip += 1
-        elif isinstance(instr, ins.Br):
-            frame.ip = frame.fn.index_of(instr.target)
-        elif isinstance(instr, ins.Cbr):
-            cond = self._value(instr.cond, frame)
-            target = instr.then_target if cond else instr.else_target
-            frame.ip = frame.fn.index_of(target)
-        elif isinstance(instr, ins.Call):
-            self._do_call(thread, frame, instr)
-        elif isinstance(instr, ins.Ret):
-            self._do_ret(thread, frame, instr)
-        elif isinstance(instr, ins.Fork):
-            args = [self._value(a, frame) for a in instr.args]
-            # Thread creation is a full fence (pthread_create
-            # synchronises-with the start of the new thread), so the
-            # parent's buffered stores are visible to the child.
-            self.model.drain(tid)
-            child = self._spawn(instr.fn, args)
-            if instr.dst is not None:
-                frame.regs[instr.dst.name] = child
-            frame.ip += 1
-        elif isinstance(instr, ins.Join):
-            target_tid = self._value(instr.tid, frame)
-            target = self.threads.get(target_tid)
-            if target is None:
-                raise InterpreterError("join on unknown thread %d" % target_tid)
-            if target.finished:
-                self.model.drain(target_tid)
-                frame.ip += 1
-            else:
-                thread.status = ThreadStatus.BLOCKED_JOIN
-                thread.join_target = target_tid
-        elif isinstance(instr, ins.SelfId):
-            frame.regs[instr.dst.name] = tid
-            frame.ip += 1
-        elif isinstance(instr, ins.PageAlloc):
-            size = self._value(instr.size, frame)
-            frame.regs[instr.dst.name] = self.memory.pagealloc(size)
-            frame.ip += 1
-        elif isinstance(instr, ins.PageFree):
-            addr = self._value(instr.addr, frame)
-            self.memory.pagefree(addr)
-            frame.ip += 1
-        elif isinstance(instr, ins.AddrOf):
-            frame.regs[instr.dst.name] = self.memory.global_addr[instr.sym.name]
-            frame.ip += 1
-        elif isinstance(instr, ins.Assert):
-            if not self._value(instr.cond, frame):
-                raise AssertionViolation(
-                    instr.message or "assertion failed",
-                    tid=tid, label=instr.label)
-            frame.ip += 1
-        elif isinstance(instr, ins.Nop):
+    def _exec_const(self, thread, frame, instr) -> None:
+        frame.regs[instr.dst.name] = instr.value
+        frame.ip += 1
+
+    def _exec_mov(self, thread, frame, instr) -> None:
+        frame.regs[instr.dst.name] = self._value(instr.src, frame)
+        frame.ip += 1
+
+    def _exec_binop(self, thread, frame, instr) -> None:
+        a = self._value(instr.a, frame)
+        b = self._value(instr.b, frame)
+        frame.regs[instr.dst.name] = _apply_binop(instr.binop, a, b)
+        frame.ip += 1
+
+    def _exec_unop(self, thread, frame, instr) -> None:
+        a = self._value(instr.a, frame)
+        frame.regs[instr.dst.name] = _apply_unop(instr.unop, a)
+        frame.ip += 1
+
+    def _exec_load(self, thread, frame, instr) -> None:
+        tid = thread.tid
+        addr = self._addr(instr.addr, frame)
+        self.memory.check(addr, "load", tid, instr.label)
+        hit, value = self.model.read(tid, addr, instr.label)
+        if not hit:
+            value = self.memory.read(addr)
+        frame.regs[instr.dst.name] = value
+        frame.ip += 1
+
+    def _exec_store(self, thread, frame, instr) -> None:
+        addr = self._addr(instr.addr, frame)
+        value = self._value(instr.src, frame)
+        self.model.write(thread.tid, addr, value, instr.label)
+        frame.ip += 1
+
+    def _exec_cas(self, thread, frame, instr) -> None:
+        tid = thread.tid
+        addr = self._addr(instr.addr, frame)
+        expected = self._value(instr.expected, frame)
+        new = self._value(instr.new, frame)
+        self.model.pre_cas(tid, addr, instr.label)
+        self.memory.check(addr, "cas", tid, instr.label)
+        if self.memory.read(addr) == expected:
+            self.memory.write(addr, new)
+            frame.regs[instr.dst.name] = 1
+        else:
+            frame.regs[instr.dst.name] = 0
+        frame.ip += 1
+
+    def _exec_fence(self, thread, frame, instr) -> None:
+        self.model.fence(thread.tid, instr.kind)
+        frame.ip += 1
+
+    def _exec_br(self, thread, frame, instr) -> None:
+        frame.ip = frame.fn.index_of(instr.target)
+
+    def _exec_cbr(self, thread, frame, instr) -> None:
+        cond = self._value(instr.cond, frame)
+        target = instr.then_target if cond else instr.else_target
+        frame.ip = frame.fn.index_of(target)
+
+    def _exec_fork(self, thread, frame, instr) -> None:
+        args = [self._value(a, frame) for a in instr.args]
+        # Thread creation is a full fence (pthread_create
+        # synchronises-with the start of the new thread), so the
+        # parent's buffered stores are visible to the child.
+        self.model.drain(thread.tid)
+        child = self._spawn(instr.fn, args)
+        if instr.dst is not None:
+            frame.regs[instr.dst.name] = child
+        frame.ip += 1
+
+    def _exec_join(self, thread, frame, instr) -> None:
+        target_tid = self._value(instr.tid, frame)
+        target = self.threads.get(target_tid)
+        if target is None:
+            raise InterpreterError("join on unknown thread %d" % target_tid)
+        if target.finished:
+            self.model.drain(target_tid)
             frame.ip += 1
         else:
-            raise InterpreterError("unknown instruction %r" % (instr,))
+            thread.status = ThreadStatus.BLOCKED_JOIN
+            thread.join_target = target_tid
+
+    def _exec_selfid(self, thread, frame, instr) -> None:
+        frame.regs[instr.dst.name] = thread.tid
+        frame.ip += 1
+
+    def _exec_pagealloc(self, thread, frame, instr) -> None:
+        size = self._value(instr.size, frame)
+        frame.regs[instr.dst.name] = self.memory.pagealloc(size)
+        frame.ip += 1
+
+    def _exec_pagefree(self, thread, frame, instr) -> None:
+        addr = self._value(instr.addr, frame)
+        self.memory.pagefree(addr)
+        frame.ip += 1
+
+    def _exec_addrof(self, thread, frame, instr) -> None:
+        frame.regs[instr.dst.name] = self.memory.global_addr[instr.sym.name]
+        frame.ip += 1
+
+    def _exec_assert(self, thread, frame, instr) -> None:
+        if not self._value(instr.cond, frame):
+            raise AssertionViolation(
+                instr.message or "assertion failed",
+                tid=thread.tid, label=instr.label)
+        frame.ip += 1
+
+    def _exec_nop(self, thread, frame, instr) -> None:
+        frame.ip += 1
 
     def _do_call(self, thread: Thread, frame: Frame, instr: ins.Call) -> None:
         callee = self.module.function(instr.fn)
@@ -322,6 +365,34 @@ class VM:
             caller.regs[frame.ret_dst.name] = value
         caller.ip += 1
         del call_instr  # caller ip advanced past the call
+
+
+# ----------------------------------------------------------------------
+# Dispatch table: instruction class → VM handler.  Built once at import;
+# ``_handlers_for`` specialises it into per-function lists.
+
+_DISPATCH = {
+    ins.ConstInstr: VM._exec_const,
+    ins.Mov: VM._exec_mov,
+    ins.BinOp: VM._exec_binop,
+    ins.UnOp: VM._exec_unop,
+    ins.Load: VM._exec_load,
+    ins.Store: VM._exec_store,
+    ins.Cas: VM._exec_cas,
+    ins.Fence: VM._exec_fence,
+    ins.Br: VM._exec_br,
+    ins.Cbr: VM._exec_cbr,
+    ins.Call: VM._do_call,
+    ins.Ret: VM._do_ret,
+    ins.Fork: VM._exec_fork,
+    ins.Join: VM._exec_join,
+    ins.SelfId: VM._exec_selfid,
+    ins.PageAlloc: VM._exec_pagealloc,
+    ins.PageFree: VM._exec_pagefree,
+    ins.AddrOf: VM._exec_addrof,
+    ins.Assert: VM._exec_assert,
+    ins.Nop: VM._exec_nop,
+}
 
 
 # ----------------------------------------------------------------------

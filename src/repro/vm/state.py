@@ -24,7 +24,7 @@ class ThreadStatus(enum.Enum):
 class Frame:
     """One activation record: function, registers, instruction pointer."""
 
-    __slots__ = ("fn", "regs", "ip", "ret_dst", "op_record")
+    __slots__ = ("fn", "regs", "ip", "ret_dst", "op_record", "handlers")
 
     def __init__(self, fn: Function, ret_dst=None,
                  op_record: Optional[Operation] = None) -> None:
@@ -33,6 +33,7 @@ class Frame:
         self.ip = 0                     # index into fn.body
         self.ret_dst = ret_dst          # register in the caller's frame
         self.op_record = op_record      # history record to complete on return
+        self.handlers = None            # per-function dispatch cache (VM)
 
     def __repr__(self) -> str:
         return "<Frame %s ip=%d>" % (self.fn.name, self.ip)

@@ -1,0 +1,186 @@
+"""Unit tests for the parallel execution backends."""
+
+import pickle
+
+import pytest
+
+from repro.memory import make_model
+from repro.minic import compile_source
+from repro.parallel import (
+    ExecutionSummary,
+    ProcessPool,
+    SerialPool,
+    make_pool,
+    resolve_workers,
+    summarize_execution,
+)
+from repro.sched.flush_random import FlushDelayScheduler
+from repro.spec import MemorySafetySpec
+from repro.vm.driver import run_execution
+
+MP = """
+int DATA;
+int FLAG;
+
+void reader() {
+  while (FLAG == 0) {}
+  assert(DATA == 1);
+}
+
+int main() {
+  int t = fork(reader);
+  DATA = 1;
+  FLAG = 1;
+  join(t);
+  return 0;
+}
+"""
+
+HISTORY = """
+int R;
+int read() { return R; }
+void write(int v) { R = v; }
+int main() { write(7); read(); return 0; }
+"""
+
+
+def make_jobs(n, entry="main", base_seed=0):
+    return [(i, entry, base_seed + i) for i in range(n)]
+
+
+class TestExecutionSummary:
+    def run_one(self, src=MP, seed=2, operations=()):
+        module = compile_source(src)
+        result = run_execution(module, make_model("pso"),
+                               FlushDelayScheduler(seed=seed,
+                                                   flush_prob=0.3),
+                               operations=operations)
+        violation = MemorySafetySpec().check(result) if result.usable \
+            else None
+        return summarize_execution(5, "main", seed, result, violation)
+
+    def test_pickle_roundtrip(self):
+        summary = self.run_one()
+        clone = pickle.loads(pickle.dumps(summary))
+        assert clone == summary
+        assert clone.index == 5
+        assert clone.entry == "main"
+        assert clone.seed == 2
+
+    def test_predicate_objects_roundtrip(self):
+        summary = self.run_one()
+        preds = summary.predicate_objects()
+        assert len(preds) == len(summary.predicates)
+        for pred, (l, k, kind) in zip(preds, summary.predicates):
+            assert (pred.store_label, pred.access_label) == (l, k)
+            assert pred.kind.value == kind
+
+    def test_history_reconstruction(self):
+        summary = self.run_one(src=HISTORY, operations=("read", "write"))
+        history = summary.history()
+        names = [op.name for op in history]
+        assert names == ["write", "read"]
+        assert all(op.complete for op in history)
+
+    def test_usable_flag(self):
+        summary = self.run_one()
+        assert summary.usable == (summary.status not in
+                                  ("timeout", "deadlock"))
+
+
+class TestResolveWorkers:
+    def test_none_is_serial(self):
+        assert resolve_workers(None) == 0
+
+    def test_zero_is_cpu_count(self):
+        assert resolve_workers(0) >= 1
+
+    def test_positive_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+    def test_make_pool_types(self):
+        assert isinstance(make_pool(None, "pso", 0.3), SerialPool)
+        pool = make_pool(2, "pso", 0.3)
+        assert isinstance(pool, ProcessPool)
+        pool.close()
+
+
+class TestSerialPool:
+    def test_requires_broadcast(self):
+        pool = SerialPool("pso", 0.3)
+        with pytest.raises(RuntimeError):
+            next(iter(pool.run(make_jobs(1))))
+
+    def test_index_order_and_determinism(self):
+        module = compile_source(MP)
+        pool = SerialPool("pso", 0.3)
+        pool.broadcast(module, MemorySafetySpec())
+        first = list(pool.run(make_jobs(30)))
+        second = list(pool.run(make_jobs(30)))
+        assert [s.index for s in first] == list(range(30))
+        assert first == second
+
+
+class TestProcessPool:
+    def test_chunking(self):
+        pool = ProcessPool(2, "pso", 0.3)
+        batches = pool._chunk(make_jobs(33))
+        assert sum(len(b) for b in batches) == 33
+        assert [job for batch in batches for job in batch] == make_jobs(33)
+        explicit = ProcessPool(2, "pso", 0.3, chunk_size=10)
+        assert [len(b) for b in explicit._chunk(make_jobs(33))] == \
+            [10, 10, 10, 3]
+
+    def test_matches_serial(self):
+        module = compile_source(MP)
+        spec = MemorySafetySpec()
+        jobs = make_jobs(40)
+        serial = SerialPool("pso", 0.3)
+        serial.broadcast(module, spec)
+        expected = list(serial.run(jobs))
+        with ProcessPool(2, "pso", 0.3) as pool:
+            pool.broadcast(module, spec)
+            got = list(pool.run(jobs))
+        assert got == expected
+        assert any(s.violation for s in got)  # the workload does violate
+
+    def test_rebroadcast_is_picked_up(self):
+        # After a broadcast of a repaired module, workers must run the new
+        # code: fence the MP program by hand and expect zero violations.
+        module = compile_source(MP)
+        fenced = compile_source(MP.replace("DATA = 1;",
+                                           "DATA = 1; fence();"))
+        jobs = make_jobs(40)
+        with ProcessPool(2, "pso", 0.3) as pool:
+            pool.broadcast(module, MemorySafetySpec())
+            before = list(pool.run(jobs))
+            pool.broadcast(fenced, MemorySafetySpec())
+            after = list(pool.run(jobs))
+        assert any(s.violation for s in before)
+        assert not any(s.violation for s in after)
+
+    def test_early_close_keeps_pool_usable(self):
+        module = compile_source(MP)
+        with ProcessPool(2, "pso", 0.3, chunk_size=5) as pool:
+            pool.broadcast(module, MemorySafetySpec())
+            summaries = pool.run(make_jobs(40))
+            seen = []
+            for summary in summaries:
+                seen.append(summary)
+                if len(seen) >= 3:
+                    break
+            summaries.close()
+            assert [s.index for s in seen] == [0, 1, 2]
+            # The pool survives an early close and serves the next round.
+            rest = list(pool.run(make_jobs(10)))
+            assert [s.index for s in rest] == list(range(10))
+
+    def test_empty_round(self):
+        module = compile_source(MP)
+        with ProcessPool(2, "pso", 0.3) as pool:
+            pool.broadcast(module, MemorySafetySpec())
+            assert list(pool.run([])) == []

@@ -1,0 +1,99 @@
+"""Witness/replay determinism.
+
+A violating ``(entry, seed, flush_prob, por)`` witness recorded by the
+engine must reproduce the *same* violation when replayed through
+``sched/replay.py`` — under both the serial and the multiprocess
+execution backend, and regardless of the engine's POR setting (the
+witness carries ``por`` so replay rebuilds the exact scheduler).
+"""
+
+import pytest
+
+from repro.memory import make_model
+from repro.minic import compile_source
+from repro.sched.replay import ReplayScheduler, TracingScheduler
+from repro.spec import MemorySafetySpec
+from repro.synth import SynthesisConfig, SynthesisEngine
+from repro.vm.driver import run_execution
+
+MP_ASSERT = """
+int DATA;
+int FLAG;
+
+void reader() {
+  while (FLAG == 0) {}
+  assert(DATA == 1);
+}
+
+int main() {
+  int t = fork(reader);
+  DATA = 1;
+  FLAG = 1;
+  join(t);
+  return 0;
+}
+"""
+
+
+def first_round_witnesses(workers, por=True, seed=3):
+    module = compile_source(MP_ASSERT)
+    engine = SynthesisEngine(SynthesisConfig(
+        memory_model="pso", flush_prob=0.3, executions_per_round=150,
+        max_rounds=6, seed=seed, por=por, workers=workers))
+    result = engine.synthesize(module, MemorySafetySpec())
+    # Round-0 witnesses were recorded against the *unrepaired* module, so
+    # they replay against a fresh compile of the original source.
+    witnesses = result.rounds[0].witnesses
+    assert witnesses, "workload must produce first-round witnesses"
+    return module, witnesses
+
+
+@pytest.mark.parametrize("workers", [None, 2],
+                         ids=["serial", "parallel"])
+class TestWitnessReproduces:
+    def test_same_violation_message(self, workers):
+        module, witnesses = first_round_witnesses(workers)
+        spec = MemorySafetySpec()
+        for witness in witnesses:
+            replay = run_execution(module, make_model("pso"),
+                                   witness.scheduler(),
+                                   entry=witness.entry)
+            assert spec.check(replay) == witness.message
+
+    def test_trace_replay_matches(self, workers):
+        module, witnesses = first_round_witnesses(workers)
+        witness = witnesses[0]
+        # Record the decision trace of the witness execution...
+        tracer = witness.scheduler(record=True)
+        assert isinstance(tracer, TracingScheduler)
+        recorded = run_execution(module, make_model("pso"), tracer,
+                                 entry=witness.entry)
+        # ...then re-execute it decision for decision.
+        replayed = run_execution(module, make_model("pso"),
+                                 ReplayScheduler(tracer.trace),
+                                 entry=witness.entry)
+        assert recorded.status == replayed.status
+        assert recorded.error == replayed.error
+        assert MemorySafetySpec().check(recorded) == witness.message
+
+    def test_por_setting_travels_with_witness(self, workers):
+        # The engine ran with POR disabled: the witness must replay with
+        # POR disabled too, or the schedule (and violation) diverges.
+        module, witnesses = first_round_witnesses(workers, por=False)
+        spec = MemorySafetySpec()
+        witness = witnesses[0]
+        assert witness.por is False
+        replay = run_execution(module, make_model("pso"),
+                               witness.scheduler(), entry=witness.entry)
+        assert spec.check(replay) == witness.message
+
+
+@pytest.mark.parametrize("workers", [None, 2],
+                         ids=["serial", "parallel"])
+def test_backends_record_identical_witnesses(workers):
+    _, serial_witnesses = first_round_witnesses(None)
+    _, witnesses = first_round_witnesses(workers)
+    assert [(w.entry, w.seed, w.flush_prob, w.por, w.message)
+            for w in witnesses] == \
+        [(w.entry, w.seed, w.flush_prob, w.por, w.message)
+         for w in serial_witnesses]
