@@ -24,6 +24,7 @@ from typing import List, Optional
 
 from .algorithms import ALGORITHMS
 from .minic import compile_source
+from .obs import ProgressReporter, Recorder, SpanTracer
 from .spec import (
     LinearizabilitySpec,
     MemorySafetySpec,
@@ -37,6 +38,7 @@ from .synth import (
     SynthesisConfig,
     SynthesisEngine,
     annotate_source,
+    format_metrics,
     summarize,
 )
 
@@ -54,6 +56,13 @@ def _workers_arg(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(
             "must be 0 (one per CPU) or a positive worker count")
+    return value
+
+
+def _nonnegative_arg(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
     return value
 
 
@@ -93,6 +102,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for round execution "
                              "(default: in-process serial; 0 = one per "
                              "CPU; results are identical either way)")
+    parser.add_argument("--witness-limit", type=_nonnegative_arg,
+                        default=5, metavar="N",
+                        help="violation witnesses kept per round "
+                             "(default: 5; 0 disables)")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a Chrome trace-event JSON of the run "
+                             "(open in Perfetto / chrome://tracing)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics block (counters, "
+                             "histograms, timing) after the summary")
+    parser.add_argument("--verbose", "-v", action="store_true",
+                        help="live round-by-round progress on stderr")
     parser.add_argument("--annotate", action="store_true",
                         help="print the source annotated with fences")
     parser.add_argument("--check-only", action="store_true",
@@ -178,8 +199,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     config = SynthesisConfig(
         memory_model=args.model, flush_prob=flush_prob,
         executions_per_round=args.executions, max_rounds=args.rounds,
-        seed=args.seed, workers=args.workers)
-    engine = SynthesisEngine(config)
+        seed=args.seed, workers=args.workers,
+        witness_limit=args.witness_limit)
+    recorder = _make_recorder(args)
+    engine = SynthesisEngine(config, recorder=recorder)
 
     if args.check_only:
         stats = engine.test_program(
@@ -188,15 +211,40 @@ def main(argv: Optional[List[str]] = None) -> int:
               % (stats.violations, stats.runs, stats.discarded))
         if stats.example:
             print("e.g. %s" % stats.example)
+        _emit_observability(args, recorder)
         return 1 if stats.violations else 0
 
     result = engine.synthesize(module, spec, entries=entries,
                                operations=operations)
-    print(summarize(result))
+    metrics = recorder.snapshot() if args.metrics else None
+    print(summarize(result, metrics=metrics))
     if args.annotate and result.program.source:
         print()
         print(annotate_source(result))
+    _emit_observability(args, recorder, metrics_done=True)
     return 0 if result.outcome.value == "clean" else 2
+
+
+def _make_recorder(args) -> Optional[Recorder]:
+    """Build the observability recorder the flags ask for (or None)."""
+    if not (args.trace or args.metrics or args.verbose):
+        return None
+    return Recorder(
+        tracer=SpanTracer() if args.trace else None,
+        progress=ProgressReporter(sys.stderr) if args.verbose else None)
+
+
+def _emit_observability(args, recorder: Optional[Recorder],
+                        metrics_done: bool = False) -> None:
+    """Flush recorder outputs: the trace file and a metrics block."""
+    if recorder is None:
+        return
+    if args.metrics and not metrics_done:
+        print(format_metrics(recorder.snapshot()))
+    if args.trace:
+        recorder.write_trace(args.trace)
+        if args.verbose:
+            print("trace written to %s" % args.trace, file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

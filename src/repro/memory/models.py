@@ -32,6 +32,10 @@ class StoreBufferModel:
     def __init__(self) -> None:
         self._commit: Optional[CommitFn] = None
         self.sink: Optional[PredicateSink] = None
+        #: Deepest any single thread's buffer got this execution (the
+        #: store-buffer pressure metric; 0 under SC).
+        self.depth_hwm = 0
+        self._depths: Dict[int, int] = {}
 
     def attach(self, commit: CommitFn,
                sink: Optional[PredicateSink] = None) -> None:
@@ -90,6 +94,20 @@ class StoreBufferModel:
         raise NotImplementedError
 
     # -- helpers -------------------------------------------------------
+
+    def _reset_depths(self) -> None:
+        self.depth_hwm = 0
+        self._depths.clear()
+
+    def _note_push(self, tid: int) -> None:
+        """A store entered the thread's buffer: bump the depth HWM."""
+        depth = self._depths.get(tid, 0) + 1
+        self._depths[tid] = depth
+        if depth > self.depth_hwm:
+            self.depth_hwm = depth
+
+    def _note_pop(self, tid: int) -> None:
+        self._depths[tid] -= 1
 
     def _do_commit(self, tid: int, addr: int, value: int, label: int) -> None:
         if self._commit is None:
@@ -174,6 +192,7 @@ class TSOModel(StoreBufferModel):
     def write(self, tid, addr, value, label):
         # TSO never reorders store-store: no predicates on a store.
         self._buffer(tid).append((addr, value, label))
+        self._note_push(tid)
 
     def pre_cas(self, tid, addr, label):
         # x86 LOCK'd operations are full barriers: drain everything.  With
@@ -208,11 +227,13 @@ class TSOModel(StoreBufferModel):
         if addr is not None and buf[0][0] != addr:
             return False
         pending_addr, value, label = buf.popleft()
+        self._note_pop(tid)
         self._do_commit(tid, pending_addr, value, label)
         return True
 
     def reset(self):
         self._buffers.clear()
+        self._reset_depths()
 
 
 class PSOModel(StoreBufferModel):
@@ -267,6 +288,7 @@ class PSOModel(StoreBufferModel):
             entries = deque()
             bufs[addr] = entries
         entries.append((value, label))
+        self._note_push(tid)
 
     def pre_cas(self, tid, addr, label):
         # The paper's CAS rule requires only B(x) = empty under PSO; other
@@ -316,11 +338,13 @@ class PSOModel(StoreBufferModel):
         value, label = entries.popleft()
         if not entries:
             del bufs[addr]
+        self._note_pop(tid)
         self._do_commit(tid, addr, value, label)
         return True
 
     def reset(self):
         self._buffers.clear()
+        self._reset_depths()
 
 
 _MODELS = {"sc": SCModel, "tso": TSOModel, "pso": PSOModel}

@@ -1,0 +1,25 @@
+"""Observability: structured tracing, metrics, and live progress.
+
+The instrumentation subsystem for the synthesis pipeline (see the
+"Observability" section of README.md):
+
+* :class:`Recorder` / :data:`NULL_RECORDER` — the single hook object the
+  engine, SAT layer, and pools report into; the null recorder keeps the
+  uninstrumented hot path at one no-op call per event.
+* :class:`MetricsRegistry` / :class:`Histogram` — deterministic counters
+  and histograms (identical for serial and multiprocess runs) plus
+  machine-dependent timing/worker sections.
+* :class:`SpanTracer` — round / execution-batch / SAT-solve / enforce /
+  broadcast spans as Chrome trace-event JSON, loadable in Perfetto.
+* :class:`ProgressReporter` — the live round-by-round CLI sink.
+"""
+
+from .metrics import Histogram, MetricsRegistry
+from .progress import ProgressReporter
+from .recorder import NULL_RECORDER, NullRecorder, Recorder
+from .trace import SpanTracer
+
+__all__ = [
+    "Histogram", "MetricsRegistry", "NULL_RECORDER", "NullRecorder",
+    "ProgressReporter", "Recorder", "SpanTracer",
+]

@@ -1,0 +1,105 @@
+"""Counters and histograms for the synthesis pipeline.
+
+A :class:`MetricsRegistry` holds named **counters** (monotone ints) and
+**histograms** (count/sum/min/max over observed values).  Metrics come in
+two determinism classes, kept in separate namespaces of the snapshot:
+
+* ``counters`` / ``histograms`` — fed exclusively from per-execution data
+  that rides back inside :class:`~repro.parallel.summary.ExecutionSummary`
+  records and is folded in execution-index order.  These **aggregates are
+  deterministic**: serial and multiprocess runs of the same config/seed
+  produce identical values (asserted by ``tests/test_observability.py``).
+* ``timing`` / ``workers`` — wall-clock span durations and per-worker job
+  counts.  Inherently machine- and schedule-dependent; reported for
+  humans, excluded from the determinism contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class Histogram:
+    """A streaming summary of observed values: count, sum, min, max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean}
+
+    def __repr__(self) -> str:
+        return "<Histogram n=%d sum=%s min=%s max=%s>" % (
+            self.count, self.total, self.min, self.max)
+
+
+class MetricsRegistry:
+    """Named counters and histograms, split by determinism class.
+
+    ``inc``/``observe`` feed the deterministic sections; ``inc_worker``
+    and ``observe_timing`` feed the machine-dependent ones.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.workers: Dict[str, int] = {}
+        self.timing: Dict[str, Histogram] = {}
+
+    # -- deterministic section -----------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def observe(self, name: str, value) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- machine-dependent section -------------------------------------
+
+    def inc_worker(self, worker: str, amount: int = 1) -> None:
+        self.workers[worker] = self.workers.get(worker, 0) + amount
+
+    def observe_timing(self, name: str, seconds: float) -> None:
+        hist = self.timing.get(name)
+        if hist is None:
+            hist = self.timing[name] = Histogram()
+        hist.observe(seconds)
+
+    # ------------------------------------------------------------------
+
+    def aggregates(self) -> dict:
+        """The deterministic sections only (counters + histograms)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {name: self.histograms[name].snapshot()
+                           for name in sorted(self.histograms)},
+        }
+
+    def snapshot(self) -> dict:
+        """Everything, as plain dicts (JSON-serialisable)."""
+        snap = self.aggregates()
+        snap["workers"] = dict(sorted(self.workers.items()))
+        snap["timing"] = {name: self.timing[name].snapshot()
+                          for name in sorted(self.timing)}
+        return snap

@@ -1,0 +1,38 @@
+"""Live round-by-round progress for the CLI (``--verbose``).
+
+A :class:`ProgressReporter` is a recorder sink: the engine's recorder
+calls it as each round completes and when the run ends.  Output goes to
+stderr by default so it never pollutes machine-readable stdout (the
+summary, annotated source, or piped trace paths).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+
+class ProgressReporter:
+    """Prints one line per synthesis round as it happens."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def round_end(self, report, duration: float) -> None:
+        """Called by the recorder when a round's report is final."""
+        rate = report.executions / duration if duration > 0 else 0.0
+        line = ("[round %d] %d runs | %d violations "
+                "(%d unfixable, %d discarded) | %d clauses / %d predicates"
+                % (report.index, report.executions, report.violations,
+                   report.unfixable, report.discarded, report.clauses,
+                   report.distinct_predicates))
+        if report.inserted:
+            line += " | +%d fences" % len(report.inserted)
+        line += " | %.2fs (%.0f exec/s)" % (duration, rate)
+        print(line, file=self.stream, flush=True)
+
+    def run_end(self, outcome: str, rounds: int, fences: int,
+                duration: float) -> None:
+        print("[done] %s after %d round(s), %d fence(s), %.2fs"
+              % (outcome, rounds, fences, duration),
+              file=self.stream, flush=True)

@@ -22,6 +22,7 @@ batch that has not started yet.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Iterator, List, Optional, Sequence
@@ -59,6 +60,7 @@ def _init_worker(model_name: str, flush_prob: float, por: bool,
         module=None,
         spec=None,
         operations=(),
+        worker="pid%d" % os.getpid(),
     )
 
 
@@ -75,7 +77,7 @@ def _run_batch(version: int, blob: bytes,
     return list(run_jobs(jobs, state["module"], state["spec"],
                          state["operations"], state["model"], state["sink"],
                          state["flush_prob"], state["por"],
-                         state["max_steps"]))
+                         state["max_steps"], worker=state["worker"]))
 
 
 def _mp_context():

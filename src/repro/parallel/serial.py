@@ -24,12 +24,15 @@ from .summary import ExecutionSummary, summarize_execution
 def run_jobs(jobs: Iterable[Job], module: Module, spec: Specification,
              operations: Sequence[str], model: StoreBufferModel,
              sink: PredicateSink, flush_prob: float, por: bool,
-             max_steps: int) -> Iterator[ExecutionSummary]:
+             max_steps: int,
+             worker: Optional[str] = None) -> Iterator[ExecutionSummary]:
     """Run each job and yield its summary — the shared worker loop.
 
     The model and sink are reused across jobs (``run_execution`` resets
     them); every job gets a fresh scheduler seeded from the job itself, so
     results depend only on the job, never on loop position or backend.
+    ``worker`` tags each summary with the identity of the loop that ran
+    it (per-worker job-count metrics); it never affects results.
     """
     for (index, entry, seed) in jobs:
         scheduler = FlushDelayScheduler(seed=seed, flush_prob=flush_prob,
@@ -38,7 +41,8 @@ def run_jobs(jobs: Iterable[Job], module: Module, spec: Specification,
                                operations=operations, max_steps=max_steps,
                                sink=sink)
         violation = spec.check(result) if result.usable else None
-        yield summarize_execution(index, entry, seed, result, violation)
+        yield summarize_execution(index, entry, seed, result, violation,
+                                  worker=worker)
 
 
 class SerialPool(ExecutionPool):
@@ -67,4 +71,4 @@ class SerialPool(ExecutionPool):
             raise RuntimeError("broadcast() must be called before run()")
         return run_jobs(jobs, self._module, self._spec, self._operations,
                         self._model, self._sink, self.flush_prob, self.por,
-                        self.max_steps)
+                        self.max_steps, worker="serial")

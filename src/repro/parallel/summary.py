@@ -28,22 +28,39 @@ OperationTuple = Tuple[int, str, Tuple[int, ...], Optional[int],
 _UNUSABLE = (ExecutionStatus.TIMEOUT.value, ExecutionStatus.DEADLOCK.value)
 
 
+#: Per-execution metric payload: ``(flushes, max_buffer_depth)``.
+MetricsTuple = Tuple[int, int]
+
+
 class ExecutionSummary:
     """One execution, flattened for IPC and deterministic merging.
 
     ``index`` is the execution's global position in its round; the merge
     step folds summaries in increasing index order, which is what makes
     the parallel backend byte-compatible with the serial one.
+
+    ``metrics`` carries the deterministic per-execution observability
+    counters (a :data:`MetricsTuple`); ``worker`` tags which backend
+    worker ran the job.  The worker tag is transport metadata — it
+    differs between backends by construction, so it is excluded from
+    equality and never feeds the deterministic metric aggregates.
     """
 
     __slots__ = ("index", "entry", "seed", "status", "error", "steps",
-                 "predicates", "operations", "violation")
+                 "predicates", "operations", "violation", "metrics",
+                 "worker")
+
+    #: Slots compared by ``__eq__`` — everything except ``worker``.
+    _PAYLOAD_SLOTS = ("index", "entry", "seed", "status", "error", "steps",
+                      "predicates", "operations", "violation", "metrics")
 
     def __init__(self, index: int, entry: str, seed: int, status: str,
                  error: Optional[str], steps: int,
                  predicates: Tuple[PredicateTuple, ...],
                  operations: Tuple[OperationTuple, ...],
-                 violation: Optional[str]) -> None:
+                 violation: Optional[str],
+                 metrics: MetricsTuple = (0, 0),
+                 worker: Optional[str] = None) -> None:
         self.index = index
         self.entry = entry
         self.seed = seed
@@ -53,6 +70,8 @@ class ExecutionSummary:
         self.predicates = predicates
         self.operations = operations
         self.violation = violation      # spec.check message, None if OK
+        self.metrics = metrics
+        self.worker = worker
 
     # -- pickling (needed explicitly because of __slots__) -------------
 
@@ -60,7 +79,7 @@ class ExecutionSummary:
         return (ExecutionSummary,
                 (self.index, self.entry, self.seed, self.status, self.error,
                  self.steps, self.predicates, self.operations,
-                 self.violation))
+                 self.violation, self.metrics, self.worker))
 
     # -- derived views -------------------------------------------------
 
@@ -87,7 +106,7 @@ class ExecutionSummary:
         if not isinstance(other, ExecutionSummary):
             return NotImplemented
         return all(getattr(self, slot) == getattr(other, slot)
-                   for slot in ExecutionSummary.__slots__)
+                   for slot in ExecutionSummary._PAYLOAD_SLOTS)
 
     def __hash__(self) -> int:
         return hash((self.index, self.entry, self.seed, self.status))
@@ -100,7 +119,8 @@ class ExecutionSummary:
 
 def summarize_execution(index: int, entry: str, seed: int,
                         result: ExecutionResult,
-                        violation: Optional[str]) -> ExecutionSummary:
+                        violation: Optional[str],
+                        worker: Optional[str] = None) -> ExecutionSummary:
     """Flatten one :class:`ExecutionResult` into a summary record."""
     predicates = tuple((p.store_label, p.access_label, p.kind.value)
                        for p in result.predicates)
@@ -109,4 +129,7 @@ def summarize_execution(index: int, entry: str, seed: int,
                        for op in result.history)
     return ExecutionSummary(index, entry, seed, result.status.value,
                             result.error, result.steps, predicates,
-                            operations, violation)
+                            operations, violation,
+                            metrics=(result.flushes,
+                                     result.max_buffer_depth),
+                            worker=worker)

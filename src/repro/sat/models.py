@@ -45,18 +45,24 @@ def _satisfies(clauses: Sequence[Sequence[int]], true_vars) -> bool:
 
 
 def enumerate_minimal_models(clauses: Sequence[Sequence[int]],
-                             limit: int = 64) -> List[FrozenSet[int]]:
+                             limit: int = 64,
+                             stats: Optional[Dict[str, int]] = None
+                             ) -> List[FrozenSet[int]]:
     """Enumerate inclusion-minimal models of a monotone positive CNF.
 
     Returns up to *limit* distinct minimal models (as frozensets of true
-    variables), found MiniSAT-style: solve, shrink, block, repeat.
+    variables), found MiniSAT-style: solve, shrink, block, repeat.  Pass
+    a dict as *stats* to accumulate the solver's observability counters
+    (solves, decisions, conflicts, propagations, learned) into it.
     """
     solver = SATSolver()
+    ok = True
     for clause in clauses:
         if not solver.add_clause(clause):
-            return []
+            ok = False
+            break
     models: List[FrozenSet[int]] = []
-    while len(models) < limit:
+    while ok and len(models) < limit:
         assignment = solver.solve()
         if assignment is None:
             break
@@ -70,18 +76,24 @@ def enumerate_minimal_models(clauses: Sequence[Sequence[int]],
             break  # the empty model satisfies everything: done
         if not solver.add_clause([-v for v in sorted(minimal)]):
             break
+    if stats is not None:
+        for name, value in solver.stats().items():
+            stats[name] = stats.get(name, 0) + value
     return models
 
 
 def minimum_model(clauses: Sequence[Sequence[int]],
-                  limit: int = 64) -> Optional[FrozenSet[int]]:
+                  limit: int = 64,
+                  stats: Optional[Dict[str, int]] = None
+                  ) -> Optional[FrozenSet[int]]:
     """A cardinality-minimum model of a monotone positive CNF.
 
     Among all enumerated inclusion-minimal models, pick the smallest;
     ties break deterministically on the sorted variable tuple.  Returns
-    None when the formula is unsatisfiable.
+    None when the formula is unsatisfiable.  *stats* accumulates solver
+    counters as in :func:`enumerate_minimal_models`.
     """
-    models = enumerate_minimal_models(clauses, limit)
+    models = enumerate_minimal_models(clauses, limit, stats=stats)
     if not models:
         return None
     return min(models, key=lambda m: (len(m), tuple(sorted(m))))

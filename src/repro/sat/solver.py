@@ -27,6 +27,14 @@ class SATSolver:
         self._watches: Dict[int, List[int]] = {}
         self._ok = True  # False once an empty clause was added
 
+        # Lifetime observability counters (never reset; read by the
+        # synthesis engine's recorder after each minimal-model search).
+        self.solves = 0        # solve() calls
+        self.decisions = 0     # branching decisions
+        self.conflicts = 0     # conflicts analysed
+        self.propagations = 0  # literals propagated
+        self.learned = 0       # clauses learned
+
         # Assignment state (rebuilt per solve() call).
         self._value: List[int] = []      # var -> 0/1/_UNASSIGNED
         self._level: List[int] = []      # var -> decision level
@@ -92,6 +100,7 @@ class SATSolver:
         while self._qhead < len(self._trail):
             lit = self._trail[self._qhead]
             self._qhead += 1
+            self.propagations += 1
             falsified = -lit
             watchers = self._watches.get(falsified, [])
             i = 0
@@ -200,6 +209,7 @@ class SATSolver:
         Returns ``{var: bool}`` for every variable on success, or None if
         unsatisfiable (under the assumptions).
         """
+        self.solves += 1
         if not self._ok:
             return None
 
@@ -242,6 +252,7 @@ class SATSolver:
         while True:
             conflict = self._propagate()
             if conflict is not None:
+                self.conflicts += 1
                 if len(self._trail_lim) == root_level:
                     return None
                 learnt, back_level = self._analyze(conflict)
@@ -249,6 +260,7 @@ class SATSolver:
                 self._backjump(back_level)
                 ci = len(self.clauses)
                 self.clauses.append(learnt)
+                self.learned += 1
                 self._watch(learnt[0], ci)
                 if len(learnt) > 1:
                     self._watch(learnt[1], ci)
@@ -259,8 +271,16 @@ class SATSolver:
             decision = self._pick_branch()
             if decision == 0:
                 return {v: self._value[v] == 1 for v in range(1, n + 1)}
+            self.decisions += 1
             self._trail_lim.append(len(self._trail))
             self._assign(decision, None)
+
+    def stats(self) -> Dict[str, int]:
+        """The lifetime observability counters, as a plain dict."""
+        return {"solves": self.solves, "decisions": self.decisions,
+                "conflicts": self.conflicts,
+                "propagations": self.propagations,
+                "learned": self.learned}
 
     def _pick_branch(self) -> int:
         best_var = 0

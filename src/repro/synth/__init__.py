@@ -5,6 +5,7 @@ from .enforce import (
     FencePlacement,
     enforce,
     enforce_with_cas,
+    fence_still_present,
     synthesized_fences,
 )
 from .engine import (
@@ -17,12 +18,13 @@ from .engine import (
     SynthesisResult,
 )
 from .formula import RepairFormula
-from .report import annotate_source, summarize
+from .report import annotate_source, format_metrics, summarize
 
 __all__ = [
     "CAS_DUMMY_GLOBAL", "CHECK_SEED_STRIDE", "CheckStats",
     "FencePlacement", "RepairFormula", "RoundReport",
     "SynthesisConfig", "SynthesisEngine", "SynthesisOutcome",
     "SynthesisResult", "annotate_source", "enforce", "enforce_with_cas",
-    "summarize", "synthesized_fences",
+    "fence_still_present", "format_metrics", "summarize",
+    "synthesized_fences",
 ]

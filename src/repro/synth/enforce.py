@@ -69,7 +69,7 @@ def enforce(module: Module, predicates: Sequence[OrderingPredicate],
     if merge:
         merge_redundant_fences(module)
         placements = [p for p in placements
-                      if _fence_still_present(module, p.fence_label)]
+                      if fence_still_present(module, p.fence_label)]
     return placements
 
 
@@ -121,13 +121,23 @@ def synthesized_fences(module: Module) -> List[Fence]:
     return fences
 
 
-def _fence_still_present(module: Module, label: int) -> bool:
+def fence_still_present(module: Module, label: int) -> bool:
+    """True if the fence inserted under *label* survives in the module.
+
+    The redundant-fence merge pass replaces removed fences by same-label
+    nops (and later enforcement rounds may merge earlier fences away), so
+    placement lists are filtered through this after every merge.
+    """
     try:
         _fn, instr = module.find_instr(label)
     except KeyError:
         return False
     # The merge pass replaces removed fences by same-label nops.
     return isinstance(instr, Fence)
+
+
+#: Backwards-compatible alias of :func:`fence_still_present`.
+_fence_still_present = fence_still_present
 
 
 def _next_source_line(module: Module, fn_name: str,

@@ -14,14 +14,21 @@ as in DFENCE — by the executions-per-round count K.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence
 
 from ..ir.module import Module
+from ..obs.recorder import NULL_RECORDER, NullRecorder
 from ..parallel.pool import ExecutionPool, Job, make_pool
 from ..sched.replay import Witness
 from ..spec.specifications import Specification
 from ..vm.interp import DEFAULT_MAX_STEPS
-from .enforce import FencePlacement, enforce, synthesized_fences
+from .enforce import (
+    FencePlacement,
+    enforce,
+    fence_still_present,
+    synthesized_fences,
+)
 from .formula import RepairFormula
 
 #: Seed offset applied to check-only (``test_program``) runs so that
@@ -54,7 +61,8 @@ class SynthesisConfig:
                  merge_fences: bool = True, por: bool = True,
                  abort_on_unfixable: bool = False,
                  workers: Optional[int] = None,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 witness_limit: int = 5) -> None:
         self.memory_model = memory_model
         self.flush_prob = flush_prob
         self.executions_per_round = executions_per_round
@@ -73,6 +81,10 @@ class SynthesisConfig:
         self.workers = workers
         #: Jobs per worker batch (None → sized by the pool).
         self.chunk_size = chunk_size
+        if witness_limit < 0:
+            raise ValueError("witness_limit must be non-negative")
+        #: Reproducible violation witnesses kept per round (0 disables).
+        self.witness_limit = witness_limit
 
 
 class RoundReport:
@@ -89,8 +101,14 @@ class RoundReport:
         self.inserted: List[FencePlacement] = []
         self.example_violation: Optional[str] = None
         #: Reproducible (entry, seed) records of violating executions
-        #: found this round (capped).
+        #: found this round (capped at ``SynthesisConfig.witness_limit``).
         self.witnesses: List[Witness] = []
+        #: Wall-clock timing (seconds); machine-dependent, excluded from
+        #: the serial ≡ parallel determinism contract.
+        self.duration = 0.0
+        self.execute_time = 0.0
+        self.solve_time = 0.0
+        self.enforce_time = 0.0
 
     def __repr__(self) -> str:
         return ("<Round %d: %d runs, %d violations, %d clauses, "
@@ -109,6 +127,8 @@ class SynthesisResult:
         self.outcome = outcome
         self.rounds = rounds
         self.placements = placements
+        #: Total wall-clock of the run (seconds); machine-dependent.
+        self.duration = 0.0
 
     @property
     def total_executions(self) -> int:
@@ -181,10 +201,19 @@ class CheckStats:
 
 
 class SynthesisEngine:
-    """Runs Algorithm 1 for one program/spec/model combination."""
+    """Runs Algorithm 1 for one program/spec/model combination.
 
-    def __init__(self, config: SynthesisConfig) -> None:
+    ``recorder`` plugs in the observability subsystem (``repro.obs``):
+    pass a :class:`~repro.obs.recorder.Recorder` to collect spans,
+    metrics, and live progress.  The default is the shared no-op recorder
+    — instrumentation then costs one no-op call per hook and the
+    :class:`SynthesisResult` is identical to an uninstrumented run.
+    """
+
+    def __init__(self, config: SynthesisConfig,
+                 recorder: Optional[NullRecorder] = None) -> None:
         self.config = config
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     def _make_pool(self) -> ExecutionPool:
         """Build the execution backend selected by ``config.workers``."""
@@ -211,13 +240,16 @@ class SynthesisEngine:
         identical for every backend.
         """
         cfg = self.config
+        rec = self.recorder
         module = program.clone()
         rounds: List[RoundReport] = []
         placements: List[FencePlacement] = []
         exec_counter = 0
+        run_start = time.perf_counter()
 
         with self._make_pool() as pool:
-            pool.broadcast(module, spec, operations)
+            with rec.span("broadcast"):
+                pool.broadcast(module, spec, operations)
             for round_index in range(cfg.max_rounds):
                 report = RoundReport(round_index)
                 rounds.append(report)
@@ -230,42 +262,88 @@ class SynthesisEngine:
                                  cfg.seed + exec_counter))
                     exec_counter += 1
 
-                aborted = self._fold_round(pool, jobs, report, formula)
-                report.clauses = formula.num_clauses
-                report.distinct_predicates = formula.num_predicates
-                if aborted:
-                    return SynthesisResult(
-                        module, SynthesisOutcome.CANNOT_FIX, rounds,
-                        self._surviving(module, placements))
+                outcome: Optional[SynthesisOutcome] = None
+                round_start = time.perf_counter()
+                with rec.span("round", index=round_index):
+                    with rec.span("execute", index=round_index,
+                                  jobs=len(jobs)):
+                        aborted = self._fold_round(pool, jobs, report,
+                                                   formula)
+                    report.execute_time = \
+                        time.perf_counter() - round_start
+                    report.clauses = formula.num_clauses
+                    report.distinct_predicates = formula.num_predicates
 
-                if report.violations == 0:
-                    return SynthesisResult(
-                        module, SynthesisOutcome.CLEAN, rounds,
-                        self._surviving(module, placements))
+                    if aborted:
+                        outcome = SynthesisOutcome.CANNOT_FIX
+                    elif report.violations == 0:
+                        outcome = SynthesisOutcome.CLEAN
+                    elif formula.num_clauses == 0:
+                        # Every violation this round was unfixable: the
+                        # property fails independently of memory-model
+                        # reordering (e.g. the algorithm itself is not
+                        # linearizable).
+                        outcome = SynthesisOutcome.CANNOT_FIX
+                    else:
+                        outcome = self._repair_round(
+                            pool, module, spec, operations, report,
+                            formula, placements, round_index)
+                report.duration = time.perf_counter() - round_start
+                rec.round_end(report, report.duration)
+                if outcome is not None:
+                    return self._finish(module, outcome, rounds,
+                                        placements, run_start)
 
-                if formula.num_clauses == 0:
-                    # Every violation this round was unfixable: the
-                    # property fails independently of memory-model
-                    # reordering (e.g. the algorithm itself is not
-                    # linearizable).
-                    return SynthesisResult(
-                        module, SynthesisOutcome.CANNOT_FIX, rounds,
-                        self._surviving(module, placements))
+        return self._finish(module, SynthesisOutcome.ROUND_LIMIT, rounds,
+                            placements, run_start)
 
-                repair = formula.minimal_repair()
-                if repair is None:
-                    return SynthesisResult(
-                        module, SynthesisOutcome.CANNOT_FIX, rounds,
-                        self._surviving(module, placements))
-                inserted = enforce(module, repair, merge=cfg.merge_fences)
-                report.inserted = inserted
-                placements.extend(inserted)
-                # The module changed: re-publish it to the workers for the
-                # next round.
-                pool.broadcast(module, spec, operations)
+    def _repair_round(self, pool: ExecutionPool, module: Module,
+                      spec: Specification, operations: Sequence[str],
+                      report: RoundReport, formula: RepairFormula,
+                      placements: List[FencePlacement],
+                      round_index: int) -> Optional[SynthesisOutcome]:
+        """SAT-solve the round's Φ and enforce the minimal repair.
 
-        return SynthesisResult(module, SynthesisOutcome.ROUND_LIMIT, rounds,
-                               self._surviving(module, placements))
+        Returns the run outcome when the round is terminal (no repair
+        exists), None when synthesis continues into the next round.
+        """
+        cfg = self.config
+        rec = self.recorder
+        sat_stats: Optional[Dict[str, int]] = {} if rec.enabled else None
+        solve_start = time.perf_counter()
+        with rec.span("sat_solve", index=round_index,
+                      clauses=report.clauses,
+                      predicates=report.distinct_predicates):
+            repair = formula.minimal_repair(stats=sat_stats)
+        report.solve_time = time.perf_counter() - solve_start
+        if sat_stats is not None:
+            rec.sat(sat_stats)
+        if repair is None:
+            return SynthesisOutcome.CANNOT_FIX
+
+        enforce_start = time.perf_counter()
+        with rec.span("enforce", index=round_index,
+                      predicates=len(repair)):
+            inserted = enforce(module, repair, merge=cfg.merge_fences)
+        report.enforce_time = time.perf_counter() - enforce_start
+        report.inserted = inserted
+        placements.extend(inserted)
+        # The module changed: re-publish it to the workers for the
+        # next round.
+        with rec.span("broadcast", index=round_index):
+            pool.broadcast(module, spec, operations)
+        return None
+
+    def _finish(self, module: Module, outcome: SynthesisOutcome,
+                rounds: List[RoundReport],
+                placements: List[FencePlacement],
+                run_start: float) -> SynthesisResult:
+        result = SynthesisResult(module, outcome, rounds,
+                                 self._surviving(module, placements))
+        result.duration = time.perf_counter() - run_start
+        self.recorder.run_end(outcome.value, len(rounds),
+                              result.fence_count, result.duration)
+        return result
 
     def _fold_round(self, pool: ExecutionPool, jobs: Sequence[Job],
                     report: RoundReport, formula: RepairFormula) -> bool:
@@ -276,9 +354,11 @@ class SynthesisEngine:
         loop's early return.
         """
         cfg = self.config
+        rec = self.recorder
         summaries = pool.run(jobs)
         try:
             for summary in summaries:
+                rec.execution(summary)
                 report.executions += 1
                 if not summary.usable:
                     report.discarded += 1
@@ -289,7 +369,7 @@ class SynthesisEngine:
                 report.violations += 1
                 if report.example_violation is None:
                     report.example_violation = message
-                if len(report.witnesses) < 5:
+                if len(report.witnesses) < cfg.witness_limit:
                     report.witnesses.append(
                         Witness(summary.entry, summary.seed,
                                 cfg.flush_prob, message, por=cfg.por))
@@ -330,6 +410,7 @@ class SynthesisEngine:
         execution to completion.
         """
         cfg = self.config
+        rec = self.recorder
         module = program  # no mutation in check-only mode
         total = executions if executions is not None \
             else cfg.executions_per_round
@@ -341,22 +422,25 @@ class SynthesisEngine:
         discarded = 0
         example: Optional[str] = None
         with self._make_pool() as pool:
-            pool.broadcast(module, spec, operations)
-            summaries = pool.run(jobs)
-            try:
-                for summary in summaries:
-                    runs += 1
-                    if not summary.usable:
-                        discarded += 1
-                        continue
-                    if summary.violation is not None:
-                        violations += 1
-                        if example is None:
-                            example = summary.violation
-                        if stop_on_first_violation:
-                            break
-            finally:
-                summaries.close()
+            with rec.span("broadcast"):
+                pool.broadcast(module, spec, operations)
+            with rec.span("check", jobs=total):
+                summaries = pool.run(jobs)
+                try:
+                    for summary in summaries:
+                        rec.execution(summary)
+                        runs += 1
+                        if not summary.usable:
+                            discarded += 1
+                            continue
+                        if summary.violation is not None:
+                            violations += 1
+                            if example is None:
+                                example = summary.violation
+                            if stop_on_first_violation:
+                                break
+                finally:
+                    summaries.close()
         return CheckStats(runs, violations, discarded, example)
 
     @staticmethod
@@ -364,7 +448,5 @@ class SynthesisEngine:
                    placements: List[FencePlacement]) -> List[FencePlacement]:
         """Placements whose fence is still in the module (merge may have
         removed earlier-round fences)."""
-        from .enforce import _fence_still_present
-
         return [placement for placement in placements
-                if _fence_still_present(module, placement.fence_label)]
+                if fence_still_present(module, placement.fence_label)]

@@ -71,15 +71,18 @@ class RepairFormula:
         """Every predicate currently mentioned by the formula."""
         return [self._pred_of_var[v] for v in sorted(self._pred_of_var)]
 
-    def minimal_repair(self) -> Optional[List[OrderingPredicate]]:
+    def minimal_repair(self, stats: Optional[Dict[str, int]] = None
+                       ) -> Optional[List[OrderingPredicate]]:
         """A cardinality-minimal predicate set satisfying Φ.
 
         None if Φ is unsatisfiable (cannot happen for non-empty positive
-        clauses) or empty if there is nothing to repair.
+        clauses) or empty if there is nothing to repair.  Pass a dict as
+        *stats* to accumulate the underlying SAT solver's counters
+        (decisions, conflicts, propagations, ...) into it.
         """
         if not self._clauses:
             return []
-        model = minimum_model(self._clauses)
+        model = minimum_model(self._clauses, stats=stats)
         if model is None:
             return None
         return [self._pred_of_var[v] for v in sorted(model)]

@@ -5,13 +5,14 @@ Turns a :class:`~repro.synth.engine.SynthesisResult` into:
 * an annotated copy of the MiniC source, with a ``// >>> fence`` comment
   line after every source line that received a synthesized fence — the
   closest analogue of DFENCE writing fences back into the bytecode;
-* a round-by-round textual summary of the engine's progress.
+* a round-by-round textual summary of the engine's progress, with
+  per-round timing and an optional metrics block (``repro.obs``).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..ir.instructions import FenceKind
 from .engine import SynthesisResult
@@ -52,22 +53,35 @@ def annotate_source(result: SynthesisResult) -> str:
     return "\n".join(lines)
 
 
-def summarize(result: SynthesisResult) -> str:
-    """A round-by-round account of the synthesis run."""
+def summarize(result: SynthesisResult,
+              metrics: Optional[dict] = None) -> str:
+    """A round-by-round account of the synthesis run.
+
+    Pass a recorder snapshot (``Recorder.snapshot()``) as *metrics* to
+    append a metrics block (see :func:`format_metrics`).
+    """
     lines = [
         "synthesis outcome: %s" % result.outcome.value,
         "total executions: %d across %d round(s)"
         % (result.total_executions, len(result.rounds)),
         "fences in final program: %d" % result.fence_count,
     ]
+    if result.duration > 0:
+        lines.append("wall clock: %.2fs (%.0f exec/s)"
+                     % (result.duration,
+                        result.total_executions / result.duration))
     for report in result.rounds:
-        lines.append(
-            "  round %d: %d runs, %d violations (%d unfixable, "
-            "%d discarded), %d clauses over %d predicates, "
-            "%d fences inserted"
-            % (report.index, report.executions, report.violations,
-               report.unfixable, report.discarded, report.clauses,
-               report.distinct_predicates, len(report.inserted)))
+        line = ("  round %d: %d runs, %d violations (%d unfixable, "
+                "%d discarded), %d clauses over %d predicates, "
+                "%d fences inserted"
+                % (report.index, report.executions, report.violations,
+                   report.unfixable, report.discarded, report.clauses,
+                   report.distinct_predicates, len(report.inserted)))
+        if report.duration > 0:
+            line += (" [%.2fs: run %.2fs, solve %.3fs, enforce %.3fs]"
+                     % (report.duration, report.execute_time,
+                        report.solve_time, report.enforce_time))
+        lines.append(line)
         if report.example_violation:
             lines.append("    e.g. %s" % report.example_violation[:120])
     if result.placements:
@@ -75,4 +89,33 @@ def summarize(result: SynthesisResult) -> str:
         for placement in result.placements:
             lines.append("  %s %s" % (placement.location(),
                                       placement.kind.value))
+    if metrics:
+        lines.append(format_metrics(metrics))
+    return "\n".join(lines)
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Render a recorder snapshot as an indented metrics block.
+
+    Accepts the dict shape of
+    :meth:`repro.obs.metrics.MetricsRegistry.snapshot` (or the
+    deterministic-only ``aggregates()`` subset).
+    """
+    lines = ["metrics:"]
+    for name, value in snapshot.get("counters", {}).items():
+        lines.append("  %s: %d" % (name, value))
+    for section in ("histograms", "timing"):
+        entries = snapshot.get(section, {})
+        if entries:
+            lines.append("  %s:" % section)
+            for name, h in entries.items():
+                lines.append(
+                    "    %s: n=%d sum=%.6g min=%.6g max=%.6g mean=%.6g"
+                    % (name, h["count"], h["sum"], h["min"] or 0,
+                       h["max"] or 0, h["mean"]))
+    workers = snapshot.get("workers", {})
+    if workers:
+        lines.append("  worker jobs: %s"
+                     % ", ".join("%s=%d" % (w, n)
+                                 for w, n in workers.items()))
     return "\n".join(lines)

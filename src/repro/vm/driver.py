@@ -45,12 +45,17 @@ class ExecutionResult:
 
     def __init__(self, status: ExecutionStatus, history: History,
                  predicates: List[OrderingPredicate], steps: int,
-                 error: Optional[str] = None) -> None:
+                 error: Optional[str] = None, flushes: int = 0,
+                 max_buffer_depth: int = 0) -> None:
         self.status = status
         self.history = history
         self.predicates = predicates
         self.steps = steps
         self.error = error
+        #: Observability counters: stores committed to shared memory and
+        #: the deepest any thread's store buffer got during the run.
+        self.flushes = flushes
+        self.max_buffer_depth = max_buffer_depth
 
     @property
     def crashed(self) -> bool:
@@ -111,7 +116,9 @@ def run_execution(module: Module, model: StoreBufferModel,
         status, error = ExecutionStatus.DEADLOCK, str(exc)
 
     predicates = sink.predicates() if sink is not None else []
-    return ExecutionResult(status, vm.history, predicates, vm.steps, error)
+    return ExecutionResult(status, vm.history, predicates, vm.steps, error,
+                           flushes=vm.flushes,
+                           max_buffer_depth=model.depth_hwm)
 
 
 def run_once(module: Module, model_name: str = "sc", seed: int = 0,

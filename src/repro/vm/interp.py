@@ -57,6 +57,10 @@ class VM:
         self.max_steps = max_steps
         self.steps = 0
         self.seq = 0
+        #: Stores committed to shared memory this execution (every flush
+        #: lands in ``_commit``, including SC's immediate writes) — one of
+        #: the per-execution observability counters.
+        self.flushes = 0
         #: Optional set collecting the labels of executed instructions
         #: (client-coverage measurement, paper section 6.4).
         self.coverage = coverage
@@ -131,6 +135,7 @@ class VM:
     def _commit(self, tid: int, addr: int, value: int, label: int) -> None:
         """Write a flushed store to shared memory (safety check included:
         the paper checks addresses when a flush occurs)."""
+        self.flushes += 1
         self.memory.check(addr, "store flush", tid, label)
         self.memory.write(addr, value)
 

@@ -1,0 +1,94 @@
+"""Edge-surface tests for ``CheckStats`` and ``RoundReport``.
+
+These cover the compatibility seams: the legacy 3-tuple unpacking
+protocol, equality against foreign objects, the ``usable`` arithmetic,
+and the round report's repr.
+"""
+
+import pytest
+
+from repro.synth import CheckStats, RoundReport
+
+
+class TestCheckStatsUnpacking:
+    def test_legacy_three_tuple(self):
+        stats = CheckStats(100, 7, 3, "boom")
+        runs, violations, example = stats
+        assert (runs, violations, example) == (100, 7, "boom")
+
+    def test_unpacking_skips_discarded(self):
+        # The legacy protocol predates the discarded count: it must not
+        # leak into the tuple shape.
+        stats = CheckStats(10, 0, 10, None)
+        unpacked = tuple(stats)
+        assert unpacked == (10, 0, None)
+        assert 10 not in unpacked[1:2]
+
+    def test_unpacking_matches_attributes(self):
+        stats = CheckStats(42, 5, 2, "msg")
+        runs, violations, example = stats
+        assert runs == stats.runs
+        assert violations == stats.violations
+        assert example == stats.example
+
+
+class TestCheckStatsEquality:
+    def test_equal_values(self):
+        assert CheckStats(10, 2, 1, "x") == CheckStats(10, 2, 1, "x")
+
+    def test_discarded_participates(self):
+        assert CheckStats(10, 2, 1, "x") != CheckStats(10, 2, 0, "x")
+
+    def test_non_checkstats_objects(self):
+        stats = CheckStats(10, 2, 1, "x")
+        # NotImplemented from __eq__ must fall back to False/True — and
+        # never raise — against tuples, ints, None, and strings.
+        assert stats != (10, 2, "x")
+        assert stats != 10
+        assert stats is not None and stats != None  # noqa: E711
+        assert not (stats == "CheckStats")
+
+    def test_eq_returns_notimplemented_directly(self):
+        assert CheckStats(1, 0, 0, None).__eq__(object()) is NotImplemented
+
+
+class TestCheckStatsUsable:
+    def test_usable_subtracts_discarded(self):
+        assert CheckStats(100, 7, 30, None).usable == 70
+
+    def test_all_discarded(self):
+        assert CheckStats(25, 0, 25, None).usable == 0
+
+    def test_none_discarded(self):
+        assert CheckStats(25, 3, 0, "e").usable == 25
+
+    def test_repr_mentions_counts(self):
+        text = repr(CheckStats(100, 7, 3, "boom"))
+        assert "100 runs" in text
+        assert "7 violations" in text
+        assert "3 discarded" in text
+
+
+class TestRoundReportRepr:
+    def test_repr_shape(self):
+        report = RoundReport(4)
+        report.executions = 200
+        report.violations = 11
+        report.clauses = 6
+        text = repr(report)
+        assert text == ("<Round 4: 200 runs, 11 violations, 6 clauses, "
+                        "0 fences inserted>")
+
+    def test_repr_counts_inserted(self):
+        report = RoundReport(0)
+        report.inserted = ["f1", "f2", "f3"]  # only len() is used
+        assert "3 fences inserted" in repr(report)
+
+    def test_fresh_report_defaults(self):
+        report = RoundReport(0)
+        assert repr(report) == ("<Round 0: 0 runs, 0 violations, "
+                                "0 clauses, 0 fences inserted>")
+        assert report.duration == 0.0
+        assert report.execute_time == 0.0
+        assert report.solve_time == 0.0
+        assert report.enforce_time == 0.0
