@@ -1,0 +1,91 @@
+"""Differential-fuzzing throughput — cost profile of the oracle suite.
+
+Runs a fixed 12-seed campaign and reports, per oracle-relevant phase,
+where the time goes: programs/minute, exhaustively explored paths per
+second, the violating-seed rate (how often the synthesis oracle is
+exercised), and the worst single seed.  Written to
+``BENCH_fuzz.json`` at the repository root and a readable table to
+``benchmarks/results/fuzz_throughput.txt`` so later PRs can see whether
+generator or oracle changes made the campaign cheaper or thinner.
+
+The numbers are machine-dependent; the *shape* (violating rate,
+inconclusive rate, path counts — all deterministic per seed range) is
+not, and regressions in those indicate a generator or budget change,
+not a slow machine.
+"""
+
+import json
+import os
+import platform
+import time
+
+import pytest
+
+from common import format_table, write_result
+
+from repro.fuzz import OracleConfig, run_campaign
+
+pytestmark = [pytest.mark.slow, pytest.mark.fuzz]
+
+ROOT_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "BENCH_fuzz.json")
+
+SEED = 0
+ITERS = 12
+
+
+def test_fuzz_campaign_throughput():
+    per_seed = []
+
+    def progress(iteration, program, report):
+        per_seed.append(dict(
+            seed=program.seed,
+            threads=len(program.threads),
+            statements=program.statement_count(),
+            paths=report.paths,
+            violating=bool(report.violating_models),
+            inconclusive=len(report.inconclusive)))
+
+    start = time.perf_counter()
+    report = run_campaign(seed=SEED, iters=ITERS,
+                          oracle_config=OracleConfig(),
+                          progress=progress)
+    elapsed = time.perf_counter() - start
+    assert report.ok, report.failures
+
+    worst = max(per_seed, key=lambda row: row["paths"])
+    violating = sum(1 for row in per_seed if row["violating"])
+    inconclusive = sum(row["inconclusive"] for row in per_seed)
+    summary = dict(
+        machine=dict(platform=platform.platform(),
+                     cpu_count=os.cpu_count()),
+        seed=SEED, iters=ITERS,
+        duration_s=round(elapsed, 2),
+        programs_per_minute=round(60 * ITERS / elapsed, 1),
+        total_paths=report.paths,
+        paths_per_second=round(report.paths / elapsed),
+        violating_seeds=violating,
+        inconclusive_explorations=inconclusive,
+        worst_seed=worst,
+        per_seed=per_seed)
+    with open(ROOT_JSON, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+
+    rows = [[str(row["seed"]), str(row["threads"]),
+             str(row["statements"]), str(row["paths"]),
+             "yes" if row["violating"] else "no",
+             str(row["inconclusive"])]
+            for row in per_seed]
+    table = format_table(
+        ["seed", "threads", "stmts", "paths", "violating", "inconcl."],
+        rows)
+    text = ("fuzz campaign: %d programs in %.1fs (%.1f/min), "
+            "%d paths (%d/s), %d violating, %d inconclusive\n\n%s\n"
+            % (ITERS, elapsed, summary["programs_per_minute"],
+               report.paths, summary["paths_per_second"],
+               violating, inconclusive, table))
+    write_result("fuzz_throughput.txt", text)
+
+    # The deterministic shape: the skeleton planting must keep the
+    # synthesis oracle exercised on a healthy fraction of seeds.
+    assert violating >= ITERS // 4

@@ -1,6 +1,6 @@
 """Command-line interface — the reproduction's ``dfence`` front door.
 
-Two modes:
+Three modes:
 
 * named benchmarks::
 
@@ -11,6 +11,11 @@ Two modes:
 
       python -m repro myqueue.c --model pso --spec memory_safety \\
           --entries client0,client1
+
+* the differential fuzzing campaign (random programs through the
+  cross-model oracle suite)::
+
+      python -m repro fuzz --seed 0 --iters 50 --model tso --model pso
 
 Prints a round-by-round summary, the synthesized fence placements, and —
 for MiniC inputs — the source annotated with the inserted fences.
@@ -122,7 +127,77 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exhaustively enumerate schedules of a MiniC "
                              "file (or a litmus catalog name) and print "
                              "the exact outcome set per memory model")
+    parser.add_argument("--max-paths", type=int, default=20_000,
+                        metavar="N",
+                        help="path budget per --explore enumeration "
+                             "(default: 20000); an exhausted budget is "
+                             "reported loudly — the outcome set is then "
+                             "only a lower bound")
     return parser
+
+
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="Differential fuzzing: generate random concurrent "
+                    "MiniC programs and cross-check the semantics, the "
+                    "explorer, the random scheduler, and the synthesis "
+                    "engine against each other")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="first generator seed (default: 0)")
+    parser.add_argument("--iters", "-n", type=int, default=50,
+                        help="number of programs, consecutive seeds "
+                             "(default: 50)")
+    parser.add_argument("--model", action="append", dest="models",
+                        choices=["tso", "pso"], metavar="MODEL",
+                        help="relaxed model(s) to differentiate against "
+                             "SC; repeatable (default: tso and pso)")
+    parser.add_argument("--max-paths", type=int, default=None, metavar="N",
+                        help="path budget per exploration (default: "
+                             "50000)")
+    parser.add_argument("--max-total-paths", type=int, default=None,
+                        metavar="N",
+                        help="path budget for one program's whole oracle "
+                             "suite (default: 250000)")
+    parser.add_argument("--corpus-dir", metavar="DIR",
+                        help="write shrunk reproducers of failing seeds "
+                             "into DIR (e.g. tests/corpus)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging failures (faster, "
+                             "bigger reproducers)")
+    parser.add_argument("--verbose", "-v", action="store_true",
+                        help="per-seed progress on stderr")
+    return parser
+
+
+def _fuzz(argv: List[str]) -> int:
+    from .fuzz import OracleConfig, run_campaign
+
+    args = build_fuzz_parser().parse_args(argv)
+    oracle_kwargs = {}
+    if args.models:
+        oracle_kwargs["models"] = tuple(dict.fromkeys(args.models))
+    if args.max_paths is not None:
+        oracle_kwargs["max_paths"] = args.max_paths
+    if args.max_total_paths is not None:
+        oracle_kwargs["max_total_paths"] = args.max_total_paths
+
+    progress = None
+    if args.verbose:
+        def progress(iteration, program, oracle_report):
+            print("  seed %d: %d stmts, %d threads, %s"
+                  % (program.seed, program.statement_count(),
+                     len(program.threads), oracle_report),
+                  file=sys.stderr)
+
+    report = run_campaign(
+        seed=args.seed, iters=args.iters,
+        oracle_config=OracleConfig(**oracle_kwargs),
+        corpus_dir=args.corpus_dir,
+        shrink_failures=not args.no_shrink,
+        progress=progress)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _spec_for(args, bundle) -> object:
@@ -159,18 +234,32 @@ def _explore(args) -> int:
     def thread_results(vm):
         return tuple(vm.threads[tid].result for tid in sorted(vm.threads))
 
+    truncated = []
     for model in ("sc", "tso", "pso"):
-        result = explore(module, model, outcome_fn=thread_results)
-        status = "exact" if result.complete else "budget hit"
+        result = explore(module, model, outcome_fn=thread_results,
+                         max_paths=args.max_paths)
+        status = "exact" if result.complete else "BUDGET EXHAUSTED"
         outcomes = ", ".join(str(o) for o in sorted(result.outcomes))
         print("%-4s (%6d paths, %s): %s"
               % (model.upper(), result.paths, status, outcomes))
         for violation in sorted(result.violations):
             print("     violation: %s" % violation[:100])
+        if not result.complete:
+            truncated.append(model.upper())
+    if truncated:
+        print("warning: path budget (%d) exhausted under %s — those "
+              "outcome sets are lower bounds, not exact; rerun with a "
+              "larger --max-paths" % (args.max_paths, ", ".join(truncated)),
+              file=sys.stderr)
+        return 3
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        return _fuzz(argv[1:])
     args = build_parser().parse_args(argv)
     if args.explore:
         return _explore(args)

@@ -1,0 +1,118 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+Given a program on which some oracle fails, :func:`shrink` greedily
+applies structure-level reductions — drop a thread, drop a statement,
+unwrap a branch/loop body, shrink a loop count or a stored constant —
+keeping each candidate only if the failure persists.  Because reductions
+edit the statement tree (never the text), every candidate renders to a
+syntactically valid MiniC program, so the check predicate is the only
+cost.
+
+The result is a local minimum: no single remaining reduction preserves
+the failure.  On real semantics bugs this lands at litmus-sized
+reproducers (a handful of statements), which the campaign serializes
+into ``tests/corpus/`` as permanent regression tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from .generator import (
+    CasStmt,
+    FuzzProgram,
+    IfStmt,
+    LoopStmt,
+    Stmt,
+    StoreStmt,
+)
+
+#: Predicate: does the failure still reproduce on this candidate?
+CheckFn = Callable[[FuzzProgram], bool]
+
+
+def shrink(program: FuzzProgram, still_fails: CheckFn,
+           max_rounds: int = 20) -> FuzzProgram:
+    """Minimize *program* while ``still_fails`` keeps returning True.
+
+    ``still_fails`` must be deterministic (the oracles are, per seed).
+    The input program is not modified; the returned program is a clone,
+    possibly the input itself if no reduction preserved the failure.
+    """
+    current = program
+    for _ in range(max_rounds):
+        for candidate in _reductions(current):
+            if still_fails(candidate):
+                current = candidate
+                break  # restart: the reduction space changed
+        else:
+            return current  # fixpoint: no candidate kept failing
+    return current
+
+
+def _reductions(program: FuzzProgram) -> Iterator[FuzzProgram]:
+    """Yield every one-step reduction of *program*, boldest first."""
+    # Drop a forked thread entirely (with its fork/join).
+    for index in range(len(program.threads) - 1, 0, -1):
+        clone = program.clone()
+        del clone.threads[index]
+        yield clone
+    # Drop one statement (top-level or nested).
+    for thread_index, body in enumerate(program.threads):
+        for path in _paths(body):
+            clone = program.clone()
+            parent = _resolve(clone.threads[thread_index], path[:-1])
+            del parent[path[-1]]
+            yield clone
+    # Unwrap an if/loop into its body (removes the control structure).
+    for thread_index, body in enumerate(program.threads):
+        for path in _paths(body):
+            stmt = _resolve_stmt(body, path)
+            if isinstance(stmt, (IfStmt, LoopStmt)) and stmt.body:
+                clone = program.clone()
+                parent = _resolve(clone.threads[thread_index], path[:-1])
+                inner = parent[path[-1]]
+                parent[path[-1]:path[-1] + 1] = inner.body
+                yield clone
+    # Shrink numeric payloads: loop counts and stored constants.
+    for thread_index, body in enumerate(program.threads):
+        for path in _paths(body):
+            stmt = _resolve_stmt(body, path)
+            replacement = _shrunk_constant(stmt)
+            if replacement is not None:
+                clone = program.clone()
+                parent = _resolve(clone.threads[thread_index], path[:-1])
+                parent[path[-1]] = replacement
+                yield clone
+
+
+def _paths(body: List[Stmt], prefix: tuple = ()) -> Iterator[tuple]:
+    """Paths to every statement, outermost first (bolder cuts early)."""
+    for index, stmt in enumerate(body):
+        path = prefix + (index,)
+        yield path
+        if isinstance(stmt, (IfStmt, LoopStmt)):
+            for sub in _paths(stmt.body, path):
+                yield sub
+
+
+def _resolve(body: List[Stmt], path: tuple) -> List[Stmt]:
+    """The statement list a path's final index points into."""
+    for index in path:
+        body = body[index].body  # only If/Loop appear on inner path legs
+    return body
+
+
+def _resolve_stmt(body: List[Stmt], path: tuple) -> Stmt:
+    return _resolve(body, path[:-1])[path[-1]]
+
+
+def _shrunk_constant(stmt: Stmt) -> Optional[Stmt]:
+    """A copy of *stmt* with a smaller constant, or None if minimal."""
+    if isinstance(stmt, LoopStmt) and stmt.count > 1:
+        return LoopStmt(stmt.count - 1, [s.clone() for s in stmt.body])
+    if isinstance(stmt, StoreStmt) and stmt.value > 1:
+        return StoreStmt(stmt.var, 1)
+    if isinstance(stmt, CasStmt) and (stmt.value > 1 or stmt.expected > 0):
+        return CasStmt(stmt.var, 0, 1)
+    return None

@@ -20,9 +20,12 @@ from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from ..ir import instructions as ins
 from ..ir.module import Module
-from ..memory.models import make_model
+from ..memory.models import StoreBufferModel, make_model
 from ..vm.errors import SpecViolationError, StepLimitExceeded
 from ..vm.interp import VM
+
+#: Builds a fresh memory-model instance for one explored path.
+ModelFactory = Callable[[], StoreBufferModel]
 
 #: Instructions that commute with every other thread's actions: they can
 #: be executed eagerly without branching (partial-order reduction).
@@ -91,14 +94,14 @@ def _apply(vm: VM, choice: Choice) -> None:
         vm.flush_one(choice[1], choice[2])
 
 
-def _run_with_prefix(module: Module, model_name: str, entry: str,
-                     prefix: Sequence[int], max_steps: int,
+def _run_with_prefix(module: Module, model_factory: ModelFactory,
+                     entry: str, prefix: Sequence[int], max_steps: int,
                      outcome_fn: OutcomeFn):
     """Replay *prefix*, then default (first option) to completion.
 
     Returns (choices_taken, option_counts, outcome, violation).
     """
-    model = make_model(model_name)
+    model = model_factory()
     vm = VM(module, model, entry=entry, max_steps=max_steps)
     taken: List[int] = []
     counts: List[int] = []
@@ -130,13 +133,23 @@ def explore(module: Module, model_name: str = "sc", entry: str = "main",
             outcome_globals: Sequence[str] = (),
             outcome_fn: Optional[OutcomeFn] = None,
             max_paths: int = 20_000,
-            max_steps: int = 2_000) -> ExplorationResult:
+            max_steps: int = 2_000,
+            model_factory: Optional[ModelFactory] = None) -> ExplorationResult:
     """Enumerate schedules of *module* under *model_name*.
 
     Outcomes are tuples of the named globals' final values (or whatever
     ``outcome_fn`` extracts).  Paths that crash with a spec violation are
     collected separately in ``violations``.
+
+    ``model_factory`` overrides how the per-path memory model is built
+    (default: ``make_model(model_name)``).  The differential fuzzing
+    oracles use it to run the explorer against deliberately broken model
+    variants; the factory's models must keep the ``name`` of the model
+    family they mimic, since flush-choice enumeration keys on it.
     """
+    if model_factory is None:
+        def model_factory():
+            return make_model(model_name)
     if outcome_fn is None:
         def outcome_fn(vm: VM) -> Tuple:
             return tuple(vm.memory.read(vm.memory.global_addr[g])
@@ -154,7 +167,7 @@ def explore(module: Module, model_name: str = "sc", entry: str = "main",
             break
         prefix = stack.pop()
         taken, counts, outcome, violation = _run_with_prefix(
-            module, model_name, entry, prefix, max_steps, outcome_fn)
+            module, model_factory, entry, prefix, max_steps, outcome_fn)
         paths += 1
         if outcome is not None:
             outcomes.add(outcome)

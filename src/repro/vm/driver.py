@@ -46,7 +46,8 @@ class ExecutionResult:
     def __init__(self, status: ExecutionStatus, history: History,
                  predicates: List[OrderingPredicate], steps: int,
                  error: Optional[str] = None, flushes: int = 0,
-                 max_buffer_depth: int = 0) -> None:
+                 max_buffer_depth: int = 0,
+                 thread_results: Optional[tuple] = None) -> None:
         self.status = status
         self.history = history
         self.predicates = predicates
@@ -56,6 +57,11 @@ class ExecutionResult:
         #: the deepest any thread's store buffer got during the run.
         self.flushes = flushes
         self.max_buffer_depth = max_buffer_depth
+        #: Per-thread return values in tid order (entries are None for
+        #: threads that never finished, e.g. after a crash).  Outcome-set
+        #: specifications — the fuzzing oracles' :class:`OutcomeSpec` —
+        #: judge executions by this tuple.
+        self.thread_results = thread_results
 
     @property
     def crashed(self) -> bool:
@@ -116,9 +122,12 @@ def run_execution(module: Module, model: StoreBufferModel,
         status, error = ExecutionStatus.DEADLOCK, str(exc)
 
     predicates = sink.predicates() if sink is not None else []
+    thread_results = tuple(vm.threads[tid].result
+                           for tid in sorted(vm.threads))
     return ExecutionResult(status, vm.history, predicates, vm.steps, error,
                            flushes=vm.flushes,
-                           max_buffer_depth=model.depth_hwm)
+                           max_buffer_depth=model.depth_hwm,
+                           thread_results=thread_results)
 
 
 def run_once(module: Module, model_name: str = "sc", seed: int = 0,

@@ -1,0 +1,25 @@
+// repro fuzz reproducer (auto-generated, delta-debugged)
+// seed: 1
+// oracle fenced_sc under pso: fully-fenced outcomes diverge from SC (extra: [(0, 0)], lost: [])
+// oracle synthesis under pso: repaired module still admits non-SC outcomes [(0, 0)] after 1 synthesis attempts
+// statements: 4 (from 4)
+int A;
+int B;
+
+int t1() {
+  int r0 = 0;
+  int r1 = 0;
+  B = 1;
+  r0 = A;
+  return r0 * 10 + r1;
+}
+
+int main() {
+  int h1 = fork(t1);
+  int r0 = 0;
+  int r1 = 0;
+  A = 1;
+  r0 = B;
+  join(h1);
+  return r0 * 10 + r1;
+}

@@ -1,0 +1,23 @@
+// repro fuzz reproducer (auto-generated, delta-debugged)
+// seed: 9001
+// oracle inclusion under pso: TSO outcomes [(21, 0)] not reproducible under PSO
+// statements: 4 (from 4)
+int A;
+
+int t1() {
+  int r0 = 0;
+  int r1 = 0;
+  A = 1;
+  A = 2;
+  return r0 * 10 + r1;
+}
+
+int main() {
+  int h1 = fork(t1);
+  int r0 = 0;
+  int r1 = 0;
+  r0 = A;
+  r1 = A;
+  join(h1);
+  return r0 * 10 + r1;
+}

@@ -99,6 +99,7 @@ class TestCilkThe:
         functions = {p.function for p in result.placements}
         assert "take" in functions
 
+    @pytest.mark.slow
     def test_not_linearizable(self):
         # Paper section 6.6: THE is not linearizable with a deterministic
         # sequential spec, even without memory-model effects.  The history
@@ -158,6 +159,7 @@ class TestLockBased:
         assert result.fence_count == 0
 
 
+@pytest.mark.slow
 class TestMichaelAllocator:
     def test_tso_needs_nothing(self):
         result = synthesize("michael_allocator", "tso", "memory_safety")

@@ -49,6 +49,7 @@ def dekker_tso():
     return synthesize(DEKKER, "tso", k=1000, seed=7, max_steps=5000)
 
 
+@pytest.mark.slow
 class TestDekker:
     def test_tso_needs_store_load_fences_in_both_entries(self, dekker_tso):
         assert dekker_tso.outcome is SynthesisOutcome.CLEAN

@@ -74,6 +74,7 @@ class TestFuzzedCorrectness:
                 found_put += 1
         assert found_put >= 2
 
+    @pytest.mark.slow
     def test_fuzzed_repair_converges(self):
         bundle = ALGORITHMS["msn_queue"]
         generated = generate_clients(bundle, count=4, seed=9)

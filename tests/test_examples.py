@@ -54,6 +54,7 @@ def test_exhaustive_litmus(capsys):
     assert "exact" in out
 
 
+@pytest.mark.slow
 def test_full_workflow(capsys):
     run_example("full_workflow.py")
     out = capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""The ``repro fuzz`` subcommand and the --explore budget surfacing."""
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.fuzz
+
+
+def test_fuzz_subcommand_runs_and_passes(capsys):
+    rc = main(["fuzz", "--seed", "3", "--iters", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "all oracles passed" in out
+    assert "seeds 3..3" in out
+
+
+def test_fuzz_subcommand_model_selection(capsys):
+    rc = main(["fuzz", "--seed", "3", "--iters", "1", "--model", "tso"])
+    assert rc == 0
+    assert "all oracles passed" in capsys.readouterr().out
+
+
+def test_fuzz_subcommand_verbose_progress(capsys):
+    rc = main(["fuzz", "--seed", "3", "--iters", "1", "-v"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "seed 3:" in captured.err
+
+
+def test_explore_reports_exact_paths(capsys):
+    rc = main(["--explore", "sb"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "exact" in captured.out
+    assert "paths" in captured.out
+    assert "BUDGET EXHAUSTED" not in captured.out
+
+
+def test_explore_budget_exhaustion_is_loud(capsys):
+    rc = main(["--explore", "sb", "--max-paths", "5"])
+    captured = capsys.readouterr()
+    assert rc == 3
+    assert "BUDGET EXHAUSTED" in captured.out
+    assert "lower bounds" in captured.err
+    assert "--max-paths" in captured.err

@@ -41,6 +41,7 @@ class TestThreeThreads:
             vm = run(self.SRC, model, seed)
             assert vm.threads[0].result == 3
 
+    @pytest.mark.slow
     def test_exhaustive_three_thread_cas(self):
         # Three CAS loops explode the schedule tree past exact
         # enumeration; the sound claim is that every explored schedule
