@@ -64,6 +64,11 @@ def test_fuzz_campaign_throughput():
         programs_per_minute=round(60 * ITERS / elapsed, 1),
         total_paths=report.paths,
         paths_per_second=round(report.paths / elapsed),
+        pruned_branches=report.pruned,
+        cache_hits=report.cache_hits,
+        estimated_unreduced_paths=report.estimated_unreduced,
+        path_reduction_ratio=round(
+            report.estimated_unreduced / max(report.paths, 1), 1),
         violating_seeds=violating,
         inconclusive_explorations=inconclusive,
         worst_seed=worst,
@@ -80,10 +85,13 @@ def test_fuzz_campaign_throughput():
         ["seed", "threads", "stmts", "paths", "violating", "inconcl."],
         rows)
     text = ("fuzz campaign: %d programs in %.1fs (%.1f/min), "
-            "%d paths (%d/s), %d violating, %d inconclusive\n\n%s\n"
+            "%d paths (%d/s), %d violating, %d inconclusive\n"
+            "reduction: %d paths explored vs >=%d unreduced (%.1fx)\n\n%s\n"
             % (ITERS, elapsed, summary["programs_per_minute"],
                report.paths, summary["paths_per_second"],
-               violating, inconclusive, table))
+               violating, inconclusive, report.paths,
+               report.estimated_unreduced,
+               summary["path_reduction_ratio"], table))
     write_result("fuzz_throughput.txt", text)
 
     # The deterministic shape: the skeleton planting must keep the

@@ -133,6 +133,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: 20000); an exhausted budget is "
                              "reported loudly — the outcome set is then "
                              "only a lower bound")
+    parser.add_argument("--reduction", default="sleep+cache",
+                        choices=["none", "sleep", "sleep+cache"],
+                        help="partial-order reduction level for --explore "
+                             "(default: sleep+cache; every level yields "
+                             "the same outcome set — 'none' mirrors the "
+                             "replay baseline path-for-path)")
+    parser.add_argument("--explore-workers", type=_workers_arg,
+                        default=None, metavar="N",
+                        help="worker processes for --explore subtree "
+                             "fan-out (default: serial; 0 = one per CPU)")
     return parser
 
 
@@ -159,6 +169,14 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="path budget for one program's whole oracle "
                              "suite (default: 250000)")
+    parser.add_argument("--reduction", default="sleep+cache",
+                        choices=["none", "sleep", "sleep+cache"],
+                        help="partial-order reduction level for oracle "
+                             "explorations (default: sleep+cache)")
+    parser.add_argument("--explore-workers", type=_workers_arg,
+                        default=None, metavar="N",
+                        help="worker processes per exploration (default: "
+                             "serial; 0 = one per CPU)")
     parser.add_argument("--corpus-dir", metavar="DIR",
                         help="write shrunk reproducers of failing seeds "
                              "into DIR (e.g. tests/corpus)")
@@ -181,6 +199,8 @@ def _fuzz(argv: List[str]) -> int:
         oracle_kwargs["max_paths"] = args.max_paths
     if args.max_total_paths is not None:
         oracle_kwargs["max_total_paths"] = args.max_total_paths
+    oracle_kwargs["reduction"] = args.reduction
+    oracle_kwargs["explore_workers"] = args.explore_workers
 
     progress = None
     if args.verbose:
@@ -217,8 +237,8 @@ def _spec_for(args, bundle) -> object:
 
 
 def _explore(args) -> int:
-    from .litmus import LITMUS_TESTS
-    from .sched.exhaustive import explore
+    from .litmus import LITMUS_TESTS, thread_results
+    from .sched.explorer import explore
 
     if args.source in LITMUS_TESTS:
         module = LITMUS_TESTS[args.source].compile()
@@ -231,17 +251,23 @@ def _explore(args) -> int:
         raise SystemExit("--explore needs a MiniC file or a litmus name "
                          "(%s)" % ", ".join(sorted(LITMUS_TESTS)))
 
-    def thread_results(vm):
-        return tuple(vm.threads[tid].result for tid in sorted(vm.threads))
-
     truncated = []
     for model in ("sc", "tso", "pso"):
         result = explore(module, model, outcome_fn=thread_results,
-                         max_paths=args.max_paths)
+                         max_paths=args.max_paths,
+                         reduction=args.reduction,
+                         workers=args.explore_workers)
         status = "exact" if result.complete else "BUDGET EXHAUSTED"
         outcomes = ", ".join(str(o) for o in sorted(result.outcomes))
         print("%-4s (%6d paths, %s): %s"
               % (model.upper(), result.paths, status, outcomes))
+        stats = result.stats
+        if stats is not None and stats.estimated_unreduced > stats.paths:
+            print("     reduction: >=%d unreduced paths (%.1fx; "
+                  "%d slept, %d cache hits)"
+                  % (stats.estimated_unreduced,
+                     stats.estimated_unreduced / max(1, stats.paths),
+                     stats.pruned, stats.cache_hits))
         for violation in sorted(result.violations):
             print("     violation: %s" % violation[:100])
         if not result.complete:

@@ -27,13 +27,15 @@ broken models and watch the right oracle catch them.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from ..ir.instructions import FenceKind
 from ..ir.module import Module
 from ..ir.passes.fences import insert_fence_after
 from ..memory.models import StoreBufferModel, make_model
-from ..sched.exhaustive import ExplorationResult, explore
+from ..sched.exhaustive import ExplorationResult
+from ..sched.explorer import explore
 from ..sched.flush_random import FlushDelayScheduler
 from ..spec.specifications import Specification
 from ..synth import SynthesisConfig, SynthesisEngine, SynthesisOutcome
@@ -137,7 +139,9 @@ class OracleConfig:
                  synth_seed: int = 0,
                  synth_flush_prob: Optional[Dict[str, float]] = None,
                  synth_flush_schedule: Tuple[float, ...] = (0.2, 0.5, 0.1),
-                 model_factory: ModelFactory = make_model) -> None:
+                 model_factory: ModelFactory = make_model,
+                 reduction: str = "sleep+cache",
+                 explore_workers: Optional[int] = None) -> None:
         for model in models:
             if model == "sc":
                 raise ValueError("models lists relaxed models; SC is "
@@ -164,6 +168,12 @@ class OracleConfig:
         #: retries sweep the flush rate instead of just sampling more.
         self.synth_flush_schedule = tuple(synth_flush_schedule)
         self.model_factory = model_factory
+        #: Partial-order-reduction level for every exploration (see
+        #: :data:`repro.sched.explorer.REDUCTIONS`).  All levels yield
+        #: identical outcome sets; "none" mirrors the replay baseline.
+        self.reduction = reduction
+        #: Processes for exploration subtree fan-out (None/1 = serial).
+        self.explore_workers = explore_workers
 
 
 class OracleReport:
@@ -178,6 +188,12 @@ class OracleReport:
         self.outcomes: Dict[str, OutcomeSet] = {}
         #: total exhaustively explored paths (cost accounting).
         self.paths = 0
+        #: branches skipped by sleep-set reduction across explorations.
+        self.pruned = 0
+        #: explorations cut short by the state-dedup cache.
+        self.cache_hits = 0
+        #: lower bound on what the unreduced replay tree would have cost.
+        self.estimated_unreduced = 0
         #: models whose relaxed outcomes exceeded SC (synthesis ran).
         self.violating_models: List[str] = []
 
@@ -243,8 +259,13 @@ class _Checker:
         result = explore(
             module, model, outcome_fn=thread_results,
             max_paths=budget, max_steps=cfg.max_steps,
-            model_factory=lambda: cfg.model_factory(model))
+            model_factory=functools.partial(cfg.model_factory, model),
+            reduction=cfg.reduction, workers=cfg.explore_workers)
         self.report.paths += result.paths
+        if result.stats is not None:
+            self.report.pruned += result.stats.pruned
+            self.report.cache_hits += result.stats.cache_hits
+            self.report.estimated_unreduced += result.stats.estimated_unreduced
         if not result.complete:
             self.report.inconclusive.append((oracle, model))
             return None

@@ -51,6 +51,10 @@ class FuzzReport:
         #: seeds whose relaxed outcomes exceeded SC (oracle 4 exercised).
         self.violating_seeds: List[int] = []
         self.paths = 0
+        #: aggregate exploration-reduction stats across all oracles.
+        self.pruned = 0
+        self.cache_hits = 0
+        self.estimated_unreduced = 0
         self.duration = 0.0
 
     @property
@@ -65,6 +69,13 @@ class FuzzReport:
             "  synthesis exercised on %d violating program(s)"
             % len(self.violating_seeds),
         ]
+        if self.estimated_unreduced > self.paths:
+            lines.append(
+                "  reduction: %d paths explored vs >=%d unreduced "
+                "(%.1fx; %d branches slept, %d cache hits)"
+                % (self.paths, self.estimated_unreduced,
+                   self.estimated_unreduced / max(1, self.paths),
+                   self.pruned, self.cache_hits))
         if self.inconclusive:
             lines.append("  %d inconclusive exploration(s) (path budget): %s"
                          % (len(self.inconclusive),
@@ -104,6 +115,9 @@ def run_campaign(seed: int = 0, iters: int = 50,
     for iteration, program in enumerate(generator.programs(seed, iters)):
         oracle_report = check_program(program, oracle_cfg)
         report.paths += oracle_report.paths
+        report.pruned += oracle_report.pruned
+        report.cache_hits += oracle_report.cache_hits
+        report.estimated_unreduced += oracle_report.estimated_unreduced
         for oracle, model in oracle_report.inconclusive:
             report.inconclusive.append((program.seed, oracle, model))
         if oracle_report.violating_models:

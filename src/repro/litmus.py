@@ -34,6 +34,11 @@ from typing import Dict, FrozenSet, Tuple
 from .minic.lower import compile_source
 
 
+def thread_results(vm) -> Tuple[int, ...]:
+    """The canonical litmus outcome: thread return values in tid order."""
+    return tuple(vm.threads[tid].result for tid in sorted(vm.threads))
+
+
 class LitmusTest:
     """One litmus test: program + exact expected outcomes per model.
 
@@ -53,6 +58,15 @@ class LitmusTest:
 
     def compile(self):
         return compile_source(self.source, "litmus_" + self.name)
+
+    def explore(self, model: str, max_paths: int = 60_000,
+                reduction: str = "sleep+cache",
+                workers=None):
+        """Exhaustively enumerate this test's outcomes under *model*."""
+        from .sched.explorer import explore
+        return explore(self.compile(), model, outcome_fn=thread_results,
+                       max_paths=max_paths, reduction=reduction,
+                       workers=workers)
 
     def models_allowing_relaxation(self):
         return sorted(model for model, outcomes in self.expected.items()

@@ -23,6 +23,11 @@ from .predicates import PredicateSink
 #: commit(tid, addr, value, label) — write a flushed value to shared memory.
 CommitFn = Callable[[int, int, int, int], None]
 
+#: Shared empty list for the no-pending-stores fast path (allocation-free
+#: common case).  Callers treat ``pending_addrs``/``pending_tids`` results
+#: as read-only.
+_EMPTY_LIST: List[int] = []
+
 
 class StoreBufferModel:
     """Abstract base for the three memory models."""
@@ -36,6 +41,10 @@ class StoreBufferModel:
         #: store-buffer pressure metric; 0 under SC).
         self.depth_hwm = 0
         self._depths: Dict[int, int] = {}
+        #: Threads with at least one buffered store, maintained
+        #: incrementally by write/flush so schedulers do not rescan every
+        #: thread's buffers at each decision point.
+        self._pending_tids: set = set()
 
     def attach(self, commit: CommitFn,
                sink: Optional[PredicateSink] = None) -> None:
@@ -77,6 +86,17 @@ class StoreBufferModel:
     def pending_count(self, tid: int) -> int:
         raise NotImplementedError
 
+    def pending_tids(self) -> List[int]:
+        """Threads with buffered stores, ascending (incremental set)."""
+        if not self._pending_tids:
+            return _EMPTY_LIST
+        return sorted(self._pending_tids)
+
+    def head_addr(self, tid: int) -> Optional[int]:
+        """Address the next ``flush_one(tid)`` would commit (None if no
+        buffered store) — the flush's concrete footprint for POR."""
+        raise NotImplementedError
+
     def flush_one(self, tid: int, addr: Optional[int] = None) -> bool:
         """Commit the oldest buffered store (of ``addr``, if given).
 
@@ -93,6 +113,35 @@ class StoreBufferModel:
         """Discard all buffers (start of a new execution)."""
         raise NotImplementedError
 
+    # -- snapshot/restore (schedule exploration) -----------------------
+    #
+    # ``snapshot()`` captures the model's complete mutable state as an
+    # immutable-enough value; ``restore()`` reinstates it.  One snapshot
+    # may be restored many times (fork-and-backtrack DFS), so restore
+    # always rebuilds fresh mutable containers.  ``fingerprint()`` is a
+    # canonical hashable encoding of the buffers for state dedup.
+
+    def snapshot(self):
+        return (self.depth_hwm, dict(self._depths),
+                self._buffers_snapshot())
+
+    def restore(self, state) -> None:
+        self.depth_hwm = state[0]
+        self._depths = dict(state[1])
+        self._buffers_restore(state[2])
+
+    def _buffers_snapshot(self):
+        return None
+
+    def _buffers_restore(self, state) -> None:
+        if state is not None:
+            raise NotImplementedError(
+                "%s does not implement buffer restore" % type(self).__name__)
+
+    def fingerprint(self):
+        """Canonical hashable encoding of all buffered stores."""
+        return ()
+
     # -- helpers -------------------------------------------------------
 
     def _reset_depths(self) -> None:
@@ -100,14 +149,21 @@ class StoreBufferModel:
         self._depths.clear()
 
     def _note_push(self, tid: int) -> None:
-        """A store entered the thread's buffer: bump the depth HWM."""
+        """A store entered the thread's buffer: bump the depth HWM and
+        mark the thread pending.  The pending set lives here (not in the
+        concrete write/flush methods) so subclasses overriding those —
+        the broken-model oracle tests do — keep it consistent for free."""
         depth = self._depths.get(tid, 0) + 1
         self._depths[tid] = depth
+        self._pending_tids.add(tid)
         if depth > self.depth_hwm:
             self.depth_hwm = depth
 
     def _note_pop(self, tid: int) -> None:
-        self._depths[tid] -= 1
+        depth = self._depths[tid] - 1
+        self._depths[tid] = depth
+        if depth <= 0:
+            self._pending_tids.discard(tid)
 
     def _do_commit(self, tid: int, addr: int, value: int, label: int) -> None:
         if self._commit is None:
@@ -141,10 +197,13 @@ class SCModel(StoreBufferModel):
         return False
 
     def pending_addrs(self, tid):
-        return []
+        return _EMPTY_LIST
 
     def pending_count(self, tid):
         return 0
+
+    def head_addr(self, tid):
+        return None
 
     def flush_one(self, tid, addr=None):
         return False
@@ -211,12 +270,16 @@ class TSOModel(StoreBufferModel):
     def pending_addrs(self, tid):
         buf = self._buffers.get(tid)
         if not buf:
-            return []
+            return _EMPTY_LIST
         return [entry[0] for entry in buf]
 
     def pending_count(self, tid):
         buf = self._buffers.get(tid)
         return len(buf) if buf else 0
+
+    def head_addr(self, tid):
+        buf = self._buffers.get(tid)
+        return buf[0][0] if buf else None
 
     def flush_one(self, tid, addr=None):
         buf = self._buffers.get(tid)
@@ -233,7 +296,21 @@ class TSOModel(StoreBufferModel):
 
     def reset(self):
         self._buffers.clear()
+        self._pending_tids.clear()
         self._reset_depths()
+
+    def _buffers_snapshot(self):
+        return {tid: tuple(buf)
+                for tid, buf in self._buffers.items() if buf}
+
+    def _buffers_restore(self, state):
+        self._buffers = {tid: deque(entries)
+                         for tid, entries in state.items()}
+        self._pending_tids = set(state)
+
+    def fingerprint(self):
+        return tuple(sorted((tid, tuple(buf))
+                            for tid, buf in self._buffers.items() if buf))
 
 
 class PSOModel(StoreBufferModel):
@@ -314,7 +391,7 @@ class PSOModel(StoreBufferModel):
     def pending_addrs(self, tid):
         bufs = self._buffers.get(tid)
         if not bufs:
-            return []
+            return _EMPTY_LIST
         return sorted(addr for addr, entries in bufs.items() if entries)
 
     def pending_count(self, tid):
@@ -322,6 +399,13 @@ class PSOModel(StoreBufferModel):
         if not bufs:
             return 0
         return sum(len(entries) for entries in bufs.values())
+
+    def head_addr(self, tid):
+        bufs = self._buffers.get(tid)
+        if not bufs:
+            return None
+        candidates = [a for a, entries in bufs.items() if entries]
+        return min(candidates) if candidates else None
 
     def flush_one(self, tid, addr=None):
         bufs = self._buffers.get(tid)
@@ -344,7 +428,28 @@ class PSOModel(StoreBufferModel):
 
     def reset(self):
         self._buffers.clear()
+        self._pending_tids.clear()
         self._reset_depths()
+
+    def _buffers_snapshot(self):
+        return {tid: {addr: tuple(entries)
+                      for addr, entries in bufs.items() if entries}
+                for tid, bufs in self._buffers.items() if bufs}
+
+    def _buffers_restore(self, state):
+        self._buffers = {tid: {addr: deque(entries)
+                               for addr, entries in bufs.items()}
+                         for tid, bufs in state.items()}
+        self._pending_tids = {tid for tid, bufs in self._buffers.items()
+                              if bufs}
+
+    def fingerprint(self):
+        return tuple(sorted(
+            (tid, tuple(sorted((addr, tuple(entries))
+                               for addr, entries in bufs.items()
+                               if entries)))
+            for tid, bufs in self._buffers.items()
+            if any(bufs.values())))
 
 
 _MODELS = {"sc": SCModel, "tso": TSOModel, "pso": PSOModel}

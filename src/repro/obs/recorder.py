@@ -73,6 +73,10 @@ class NullRecorder:
                 duration: float) -> None:
         """The synthesis (or check) run finished."""
 
+    def explore(self, stats) -> None:
+        """Fold one exhaustive-exploration run's reduction counters
+        (an :class:`~repro.sched.explorer.ExploreStats`)."""
+
     def aggregates(self) -> dict:
         return {}
 
@@ -176,6 +180,18 @@ class Recorder(NullRecorder):
         self.metrics.observe_timing("run/duration", duration)
         if self.progress is not None:
             self.progress.run_end(outcome, rounds, fences, duration)
+
+    def explore(self, stats) -> None:
+        m = self.metrics
+        m.inc("explore/runs")
+        m.inc("explore/paths", stats.paths)
+        m.inc("explore/pruned_branches", stats.pruned)
+        m.inc("explore/cache_hits", stats.cache_hits)
+        m.inc("explore/cache_states", stats.cache_states)
+        m.inc("explore/snapshots", stats.snapshots)
+        m.inc("explore/restores", stats.restores)
+        if stats.snapshot_bytes > 0:
+            m.observe("explore/snapshot_bytes", stats.snapshot_bytes)
 
     # -- output --------------------------------------------------------
 

@@ -42,14 +42,21 @@ OutcomeFn = Callable[[VM], Tuple]
 
 
 class ExplorationResult:
-    """Outcome set of an exhaustive exploration."""
+    """Outcome set of an exhaustive exploration.
+
+    ``stats`` is ``None`` for the replay baseline; the snapshot explorer
+    (:mod:`repro.sched.explorer`) attaches an
+    :class:`~repro.sched.explorer.ExploreStats` with reduction counters.
+    """
 
     def __init__(self, outcomes: Set[Tuple], paths: int,
-                 complete: bool, violations: Set[str]) -> None:
+                 complete: bool, violations: Set[str],
+                 stats=None) -> None:
         self.outcomes = outcomes
         self.paths = paths
         self.complete = complete
         self.violations = violations
+        self.stats = stats
 
     def __repr__(self) -> str:
         return "<ExplorationResult %d outcomes, %d paths%s, %d violations>" \
@@ -115,9 +122,15 @@ def _run_with_prefix(module: Module, model_factory: ModelFactory,
                 break
             index = prefix[len(taken)] if len(taken) < len(prefix) else 0
             if index >= len(options):
-                # Stale branch (earlier divergence shrank the options):
-                # cannot happen with deterministic replay, but guard.
-                index = 0
+                # A prefix recorded by a previous run must replay
+                # identically (the VM is deterministic given the choice
+                # sequence), so an out-of-range index means the replay
+                # diverged — silently taking option 0 here would corrupt
+                # the search invisibly.  Fail loudly instead.
+                raise RuntimeError(
+                    "stale replay branch: prefix index %d at depth %d but "
+                    "only %d options — deterministic replay diverged"
+                    % (index, len(taken), len(options)))
             taken.append(index)
             counts.append(len(options))
             _apply(vm, options[index])

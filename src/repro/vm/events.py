@@ -57,6 +57,23 @@ class History:
         self.operations.append(op)
         return op
 
+    def clone(self) -> Tuple["History", dict]:
+        """Deep copy for VM snapshots.
+
+        Returns ``(history, opmap)`` where ``opmap`` maps ``id(original)``
+        to the cloned :class:`Operation`, so frames holding in-flight
+        ``op_record`` references can be remapped onto the copies.
+        """
+        history = History()
+        opmap: dict = {}
+        for op in self.operations:
+            clone = Operation(op.tid, op.name, op.args, op.call_seq)
+            clone.result = op.result
+            clone.ret_seq = op.ret_seq
+            history.operations.append(clone)
+            opmap[id(op)] = clone
+        return history, opmap
+
     def complete_ops(self) -> List[Operation]:
         return [op for op in self.operations if op.complete]
 

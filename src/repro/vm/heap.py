@@ -113,6 +113,41 @@ class SharedMemory:
     def write(self, addr: int, value: int) -> None:
         self.cells[addr] = value
 
+    # ------------------------------------------------------------------
+    # Snapshot/restore (schedule exploration)
+
+    def snapshot(self) -> Tuple:
+        """Capture cells, the live-region table, and the bump pointer.
+
+        ``global_addr`` is fixed at load time and shared, not copied.
+        """
+        return (dict(self.cells), list(self._region_bases),
+                dict(self._region_sizes), self._bump)
+
+    def restore(self, state: Tuple, consume: bool = False) -> None:
+        """Reinstate a snapshot.
+
+        A snapshot may be restored many times (fork-and-backtrack DFS),
+        so by default fresh containers are built; ``consume=True`` moves
+        the snapshot's containers in directly — valid only for the final
+        restore of that snapshot.
+        """
+        cells, bases, sizes, bump = state
+        if consume:
+            self.cells = cells
+            self._region_bases = bases
+            self._region_sizes = sizes
+        else:
+            self.cells = dict(cells)
+            self._region_bases = list(bases)
+            self._region_sizes = dict(sizes)
+        self._bump = bump
+
+    def fingerprint(self) -> Tuple:
+        """Canonical hashable encoding of the memory state (state dedup)."""
+        return (tuple(sorted(self.cells.items())),
+                tuple(self._region_bases), self._bump)
+
     def region_of(self, addr: int) -> Optional[Tuple[int, int]]:
         """The (base, size) of the live region containing ``addr``."""
         pos = bisect.bisect_right(self._region_bases, addr) - 1

@@ -29,6 +29,20 @@ from .state import Frame, Thread, ThreadStatus
 DEFAULT_MAX_STEPS = 200_000
 
 
+class VMSnapshot:
+    """One captured VM execution state (see :meth:`VM.snapshot`).
+
+    Opaque to callers: hand it back to :meth:`VM.restore` on the *same*
+    VM instance.  Snapshots deep-copy all mutable execution state
+    (threads, frames, registers, shared memory, store buffers, history,
+    counters) and share everything immutable (module, functions,
+    dispatch tables).
+    """
+
+    __slots__ = ("threads", "next_tid", "steps", "seq", "flushes",
+                 "history", "memory", "model")
+
+
 class VM:
     """A single execution of a DIR module under a memory model.
 
@@ -76,6 +90,12 @@ class VM:
 
         self.threads: Dict[int, Thread] = {}
         self._next_tid = 0
+        #: Incrementally maintained scheduling sets: tids whose status is
+        #: RUNNABLE, and blocked-join tid → join-target tid.  Decision
+        #: points hit ``enabled_tids`` constantly; these avoid rescanning
+        #: every thread's status per call.
+        self._runnable: set = set()
+        self._blocked_join: Dict[int, int] = {}
         self._spawn(entry, [int(a) for a in entry_args])
 
     # ------------------------------------------------------------------
@@ -95,22 +115,24 @@ class VM:
             frame.regs[param] = value
         thread.frames.append(frame)
         self.threads[tid] = thread
+        self._runnable.add(tid)
         return tid
 
     def enabled_tids(self) -> List[int]:
-        """Threads that can take a step right now.
+        """Threads that can take a step right now, ascending by tid.
 
         A thread blocked on join becomes enabled once its target finishes
         (the join step itself then drains the target's buffers).
         """
-        enabled = []
-        for tid, thread in self.threads.items():
-            if thread.status is ThreadStatus.RUNNABLE:
+        if not self._blocked_join:
+            return sorted(self._runnable)
+        enabled = list(self._runnable)
+        threads = self.threads
+        for tid, target_tid in self._blocked_join.items():
+            target = threads.get(target_tid)
+            if target is not None and target.finished:
                 enabled.append(tid)
-            elif thread.status is ThreadStatus.BLOCKED_JOIN:
-                target = self.threads.get(thread.join_target)
-                if target is not None and target.finished:
-                    enabled.append(tid)
+        enabled.sort()
         return enabled
 
     def all_finished(self) -> bool:
@@ -118,7 +140,7 @@ class VM:
 
     def tids_with_pending(self) -> List[int]:
         """Threads (running or finished) with buffered stores to flush."""
-        return [tid for tid in self.threads if self.model.has_pending(tid)]
+        return self.model.pending_tids()
 
     def peek(self, tid: int) -> Optional[ins.Instr]:
         """The instruction the thread would execute next (None if blocked
@@ -128,6 +150,62 @@ class VM:
             return None
         frame = thread.top
         return frame.fn.body[frame.ip]
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (fork-and-backtrack exploration)
+
+    def snapshot(self) -> VMSnapshot:
+        """Capture the complete execution state.
+
+        The snapshot is independent of further execution: the DFS
+        explorer forks the choice tree by executing one branch, restoring,
+        and executing the next — one VM step per tree edge instead of an
+        O(depth) replay per path.
+        """
+        snap = VMSnapshot.__new__(VMSnapshot)
+        history, opmap = self.history.clone()
+        snap.history = history
+        snap.threads = {tid: thread.clone(opmap)
+                        for tid, thread in self.threads.items()}
+        snap.next_tid = self._next_tid
+        snap.steps = self.steps
+        snap.seq = self.seq
+        snap.flushes = self.flushes
+        snap.memory = self.memory.snapshot()
+        snap.model = self.model.snapshot()
+        return snap
+
+    def restore(self, snap: VMSnapshot, consume: bool = False) -> None:
+        """Reinstate a snapshot taken on this VM.
+
+        A snapshot may be restored any number of times; each restore
+        rebuilds fresh mutable state.  ``consume=True`` moves the
+        snapshot's containers in without copying — a backtracking
+        optimisation valid only for the *last* restore of that snapshot.
+        """
+        if consume:
+            self.history = snap.history
+            self.threads = snap.threads
+        else:
+            history, opmap = snap.history.clone()
+            self.history = history
+            self.threads = {tid: thread.clone(opmap)
+                            for tid, thread in snap.threads.items()}
+        self._next_tid = snap.next_tid
+        self.steps = snap.steps
+        self.seq = snap.seq
+        self.flushes = snap.flushes
+        self.memory.restore(snap.memory, consume=consume)
+        self.model.restore(snap.model)
+        runnable = set()
+        blocked: Dict[int, int] = {}
+        for tid, thread in self.threads.items():
+            if thread.status is ThreadStatus.RUNNABLE:
+                runnable.add(tid)
+            elif thread.status is ThreadStatus.BLOCKED_JOIN:
+                blocked[tid] = thread.join_target
+        self._runnable = runnable
+        self._blocked_join = blocked
 
     # ------------------------------------------------------------------
     # Memory plumbing
@@ -203,6 +281,8 @@ class VM:
         self.model.drain(target.tid)
         thread.status = ThreadStatus.RUNNABLE
         thread.join_target = None
+        self._blocked_join.pop(thread.tid, None)
+        self._runnable.add(thread.tid)
         thread.top.ip += 1
 
     # ------------------------------------------------------------------
@@ -314,6 +394,8 @@ class VM:
         else:
             thread.status = ThreadStatus.BLOCKED_JOIN
             thread.join_target = target_tid
+            self._runnable.discard(thread.tid)
+            self._blocked_join[thread.tid] = target_tid
 
     def _exec_selfid(self, thread, frame, instr) -> None:
         frame.regs[instr.dst.name] = thread.tid
@@ -363,6 +445,7 @@ class VM:
         if not thread.frames:
             thread.status = ThreadStatus.FINISHED
             thread.result = value
+            self._runnable.discard(thread.tid)
             return
         caller = thread.top
         call_instr = caller.fn.body[caller.ip]

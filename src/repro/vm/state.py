@@ -35,6 +35,23 @@ class Frame:
         self.op_record = op_record      # history record to complete on return
         self.handlers = None            # per-function dispatch cache (VM)
 
+    def clone(self, opmap: Optional[Dict[int, Operation]] = None) -> "Frame":
+        """Deep-enough copy for VM snapshots: registers are copied, the
+        immutable function/dispatch cache is shared, and the in-flight
+        operation record is remapped through *opmap* (id(old) → clone) so
+        the copy completes its own history's record, not the original's."""
+        frame = Frame.__new__(Frame)
+        frame.fn = self.fn
+        frame.regs = dict(self.regs)
+        frame.ip = self.ip
+        frame.ret_dst = self.ret_dst
+        record = self.op_record
+        if record is not None and opmap is not None:
+            record = opmap[id(record)]
+        frame.op_record = record
+        frame.handlers = self.handlers
+        return frame
+
     def __repr__(self) -> str:
         return "<Frame %s ip=%d>" % (self.fn.name, self.ip)
 
@@ -50,6 +67,16 @@ class Thread:
         self.status = ThreadStatus.RUNNABLE
         self.join_target: Optional[int] = None
         self.result: Optional[int] = None
+
+    def clone(self, opmap: Optional[Dict[int, Operation]] = None) -> "Thread":
+        """Deep copy of the thread's execution state (VM snapshots)."""
+        thread = Thread.__new__(Thread)
+        thread.tid = self.tid
+        thread.frames = [frame.clone(opmap) for frame in self.frames]
+        thread.status = self.status
+        thread.join_target = self.join_target
+        thread.result = self.result
+        return thread
 
     @property
     def top(self) -> Frame:

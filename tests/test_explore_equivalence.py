@@ -1,0 +1,174 @@
+"""Differential validation of the snapshot explorer.
+
+The replay-based DFS in :mod:`repro.sched.exhaustive` is the semantic
+reference; the snapshot engine in :mod:`repro.sched.explorer` must agree
+with it exactly at *every* reduction level:
+
+* identical outcome sets, violation sets, and completeness flags, and
+* at ``reduction="none"``, an identical path count — the two engines
+  walk the same tree, the new one just never replays a prefix.
+
+The fast subset runs in every tier-1 invocation; the full sweep (whole
+litmus catalog, corpus reproducers, fresh fuzz programs per model) is
+``slow``-marked and runs in CI's explore-equivalence job.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz.generator import ProgramGenerator
+from repro.litmus import LITMUS_TESTS, thread_results
+from repro.minic import compile_source
+from repro.sched.exhaustive import explore as explore_replay
+from repro.sched.explorer import REDUCTIONS, explore
+
+MODELS = ["sc", "tso", "pso"]
+CORPUS_FILES = sorted(glob.glob(
+    os.path.join(os.path.dirname(__file__), "corpus", "*.c")))
+
+#: Fuzz seeds per memory model for the slow sweep.
+FUZZ_SEEDS = 10
+
+
+def assert_equivalent(module, model, max_paths=60_000, max_steps=2_000):
+    """The new engine matches the replay baseline at every reduction."""
+    base = explore_replay(module, model, outcome_fn=thread_results,
+                          max_paths=max_paths, max_steps=max_steps)
+    for reduction in REDUCTIONS:
+        new = explore(module, model, outcome_fn=thread_results,
+                      max_paths=max_paths, max_steps=max_steps,
+                      reduction=reduction)
+        assert new.complete == base.complete, (model, reduction)
+        assert new.outcomes == base.outcomes, (model, reduction)
+        assert new.violations == base.violations, (model, reduction)
+        if reduction == "none":
+            assert new.paths == base.paths, (model, reduction)
+        else:
+            assert new.paths <= base.paths, (model, reduction)
+    return base
+
+
+# ----------------------------------------------------------------------
+# Fast subset (tier-1)
+
+@pytest.mark.parametrize("name", ["sb", "mp", "coww", "sb_one_fence"])
+@pytest.mark.parametrize("model", MODELS)
+def test_litmus_equivalence_fast(name, model):
+    assert_equivalent(LITMUS_TESTS[name].compile(), model)
+
+
+def test_reduction_actually_reduces():
+    module = LITMUS_TESTS["sb"].compile()
+    base = explore_replay(module, "tso", outcome_fn=thread_results,
+                          max_paths=60_000)
+    reduced = explore(module, "tso", outcome_fn=thread_results,
+                      max_paths=60_000, reduction="sleep+cache")
+    assert reduced.paths * 5 <= base.paths
+    assert reduced.stats.pruned > 0
+    assert reduced.stats.estimated_unreduced > reduced.paths
+
+
+def test_none_reduction_reports_no_pruning():
+    module = LITMUS_TESTS["sb"].compile()
+    result = explore(module, "tso", outcome_fn=thread_results,
+                     max_paths=60_000, reduction="none")
+    assert result.stats.pruned == 0
+    assert result.stats.cache_hits == 0
+    assert result.stats.estimated_unreduced == result.paths
+
+
+def test_unknown_reduction_rejected():
+    module = LITMUS_TESTS["sb"].compile()
+    with pytest.raises(ValueError):
+        explore(module, "tso", reduction="bogus")
+
+
+def test_budget_truncation_reported():
+    module = LITMUS_TESTS["sb"].compile()
+    result = explore(module, "tso", outcome_fn=thread_results,
+                     max_paths=3, reduction="none")
+    assert result.paths == 3
+    assert not result.complete
+
+
+@pytest.mark.parametrize("reduction", REDUCTIONS)
+def test_parallel_matches_serial(reduction):
+    module = LITMUS_TESTS["sb"].compile()
+    serial = explore(module, "tso", outcome_fn=thread_results,
+                     max_paths=60_000, reduction=reduction)
+    parallel = explore(module, "tso", outcome_fn=thread_results,
+                       max_paths=60_000, reduction=reduction, workers=2)
+    assert serial.complete and parallel.complete
+    assert parallel.outcomes == serial.outcomes
+    assert parallel.violations == serial.violations
+    assert parallel.stats.subtrees > 1
+    if reduction != "sleep+cache":  # cache is per-worker, counts differ
+        assert parallel.paths == serial.paths
+
+
+def test_parallel_unpicklable_falls_back_to_serial():
+    from repro.memory.models import make_model
+    module = LITMUS_TESTS["sb"].compile()
+    local_unpicklable = lambda: make_model("tso")  # noqa: E731
+    result = explore(module, "tso", outcome_fn=thread_results,
+                     max_paths=60_000, model_factory=local_unpicklable,
+                     workers=2)
+    assert result.complete
+    assert result.stats.subtrees == 0  # serial fallback took over
+    assert result.outcomes == LITMUS_TESTS["sb"].expected["tso"]
+
+
+def test_stale_replay_branch_raises():
+    """Satellite regression: an out-of-range prefix index used to be
+    silently clamped to option 0, corrupting the search invisibly."""
+    from repro.sched.exhaustive import _run_with_prefix
+
+    module = LITMUS_TESTS["sb"].compile()
+    with pytest.raises(RuntimeError, match="stale replay branch"):
+        _run_with_prefix(module, lambda: __import__(
+            "repro.memory.models", fromlist=["make_model"]
+        ).make_model("tso"), "main", [99], 2_000, thread_results)
+
+
+def test_stale_subtree_prefix_raises():
+    from repro.memory.models import make_model
+    from repro.sched.explorer import _replay_prefix
+    from repro.vm.interp import VM
+
+    module = LITMUS_TESTS["sb"].compile()
+    vm = VM(module, make_model("tso"), max_steps=2_000)
+    with pytest.raises(RuntimeError, match="stale subtree prefix"):
+        _replay_prefix(vm, [99])
+
+
+# ----------------------------------------------------------------------
+# Full sweep (slow; CI explore-equivalence job)
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(LITMUS_TESTS))
+@pytest.mark.parametrize("model", MODELS)
+def test_litmus_equivalence_full(name, model):
+    assert_equivalent(LITMUS_TESTS[name].compile(), model,
+                      max_paths=120_000)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("path", CORPUS_FILES,
+                         ids=[os.path.basename(p) for p in CORPUS_FILES])
+@pytest.mark.parametrize("model", MODELS)
+def test_corpus_equivalence(path, model):
+    with open(path) as handle:
+        module = compile_source(handle.read(), os.path.basename(path))
+    assert_equivalent(module, model)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("model", MODELS)
+def test_fuzz_program_equivalence(model):
+    generator = ProgramGenerator()
+    for seed in range(FUZZ_SEEDS):
+        module = generator.generate(seed).compile()
+        assert_equivalent(module, model, max_paths=120_000,
+                          max_steps=4_000)

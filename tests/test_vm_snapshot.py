@@ -1,0 +1,182 @@
+"""VM snapshot/restore: the foundation of the fork-and-backtrack DFS.
+
+A snapshot must be a complete, independent copy of the execution state:
+restoring it (any number of times) must reproduce the exact behaviour of
+a fresh run replayed to the same point, under every memory model.
+"""
+
+import pytest
+
+from repro.memory.models import make_model
+from repro.minic import compile_source
+from repro.vm.interp import VM
+
+SB_SOURCE = """
+int X; int Y;
+int t1() { X = 1; int r = Y; return r; }
+int main() {
+  int t = fork(t1);
+  Y = 1;
+  int r = X;
+  join(t);
+  return r;
+}
+"""
+
+OP_SOURCE = """
+int X;
+int bump() { X = X + 1; return X; }
+int main() {
+  int a = bump();
+  int b = bump();
+  return a + b;
+}
+"""
+
+MODELS = ["sc", "tso", "pso"]
+
+
+def _drive(vm, steps):
+    """Round-robin *steps* enabled-thread steps (deterministic)."""
+    for _ in range(steps):
+        enabled = vm.enabled_tids()
+        if not enabled:
+            return
+        vm.step(enabled[0])
+
+
+def _run_to_end(vm):
+    while True:
+        enabled = vm.enabled_tids()
+        if enabled:
+            vm.step(enabled[0])
+        elif vm.tids_with_pending():
+            vm.flush_one(vm.tids_with_pending()[0])
+        else:
+            return tuple(vm.threads[tid].result for tid in sorted(vm.threads))
+
+
+def _observable_state(vm):
+    return (
+        {tid: (t.status.value, t.join_target, t.result,
+               [(f.fn.name, f.ip, dict(f.regs)) for f in t.frames])
+         for tid, t in vm.threads.items()},
+        vm.memory.fingerprint(),
+        vm.model.fingerprint(),
+        vm.steps, vm.seq, vm.flushes, vm._next_tid,
+    )
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_snapshot_restore_roundtrip(model):
+    module = compile_source(SB_SOURCE, "sb")
+    vm = VM(module, make_model(model), max_steps=500)
+    _drive(vm, 6)
+    snap = vm.snapshot()
+    before = _observable_state(vm)
+
+    first = _run_to_end(vm)
+    assert _observable_state(vm) != before  # execution really moved
+
+    vm.restore(snap)
+    assert _observable_state(vm) == before
+    second = _run_to_end(vm)
+    assert second == first  # deterministic continuation reproduced
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_snapshot_is_isolated_from_execution(model):
+    """Running past a snapshot must not mutate the snapshot."""
+    module = compile_source(SB_SOURCE, "sb")
+    vm = VM(module, make_model(model), max_steps=500)
+    _drive(vm, 5)
+    snap = vm.snapshot()
+    reference = vm.snapshot()
+    _run_to_end(vm)
+
+    vm.restore(snap)
+    restored = _observable_state(vm)
+    vm.restore(reference)
+    assert _observable_state(vm) == restored
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_consume_restore_matches_copy_restore(model):
+    module = compile_source(SB_SOURCE, "sb")
+    vm = VM(module, make_model(model), max_steps=500)
+    _drive(vm, 6)
+    snap = vm.snapshot()
+    expected = _observable_state(vm)
+    _run_to_end(vm)
+    vm.restore(snap, consume=True)
+    assert _observable_state(vm) == expected
+    assert _run_to_end(vm) is not None
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_restore_rebuilds_scheduling_sets(model):
+    """enabled_tids/tids_with_pending are incremental sets; a restore
+    must leave them consistent with a full scan of the thread table."""
+    module = compile_source(SB_SOURCE, "sb")
+    vm = VM(module, make_model(model), max_steps=500)
+    _drive(vm, 4)
+    snap = vm.snapshot()
+    _run_to_end(vm)
+    vm.restore(snap)
+
+    runnable_scan = sorted(
+        tid for tid, t in vm.threads.items()
+        if t.status.value == "runnable"
+        or (t.status.value == "blocked_join"
+            and vm.threads[t.join_target].finished))
+    assert vm.enabled_tids() == runnable_scan
+    pending_scan = sorted(tid for tid in vm.threads
+                          if vm.model.has_pending(tid))
+    assert vm.tids_with_pending() == pending_scan
+
+
+def test_history_cloned_with_inflight_operations():
+    """Snapshots taken inside a recorded operation remap the frame's
+    op_record onto the cloned history, so completing the restored run
+    does not retroactively complete the original history's record."""
+    module = compile_source(OP_SOURCE, "ops")
+    vm = VM(module, make_model("sc"), operations=("bump",), max_steps=500)
+    # Step until we are inside the first bump() call.
+    while not any(f.op_record is not None
+                  for t in vm.threads.values() for f in t.frames):
+        vm.step(vm.enabled_tids()[0])
+    snap = vm.snapshot()
+    in_flight = [op for op in vm.history if not op.complete]
+    assert in_flight, "expected an in-flight operation"
+
+    _run_to_end(vm)
+    assert all(op.complete for op in vm.history)
+    finished_history = vm.history
+
+    vm.restore(snap)
+    assert vm.history is not finished_history
+    assert any(not op.complete for op in vm.history)
+    frames = [f for t in vm.threads.values() for f in t.frames
+              if f.op_record is not None]
+    for frame in frames:
+        assert frame.op_record in list(vm.history)
+        assert frame.op_record not in list(finished_history)
+    _run_to_end(vm)
+    assert all(op.complete for op in vm.history)
+
+
+@pytest.mark.parametrize("model", ["tso", "pso"])
+def test_snapshot_captures_buffered_stores(model):
+    module = compile_source(SB_SOURCE, "sb")
+    vm = VM(module, make_model(model), max_steps=500)
+    # Step main until its store to Y is buffered.
+    while not vm.model.has_pending(0):
+        vm.step(0)
+    snap = vm.snapshot()
+    pending_before = vm.model.pending_addrs(0)
+    vm.flush_one(0)
+    assert vm.model.pending_addrs(0) != pending_before or \
+        not vm.model.has_pending(0)
+    vm.restore(snap)
+    assert vm.model.pending_addrs(0) == pending_before
+    assert vm.tids_with_pending() == [0]
