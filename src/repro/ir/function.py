@@ -27,6 +27,11 @@ class Function:
         self.params: List[str] = list(params)
         self.body: List[Instr] = []
         self._index: Optional[Dict[int, int]] = None
+        #: Monotonic counter bumped on every body mutation.  Compiled
+        #: bodies (:mod:`repro.vm.compile`) are cached per
+        #: ``(function, body_version)``, so fence insertion invalidates
+        #: exactly the repaired function's cache entry.
+        self.body_version = 0
 
     # ------------------------------------------------------------------
     # Indexing
@@ -48,8 +53,14 @@ class Function:
         return self._index
 
     def invalidate_index(self) -> None:
-        """Force the label→index map to be rebuilt (call after mutation)."""
+        """Force the label→index map to be rebuilt (call after mutation).
+
+        Also bumps ``body_version``: callers invalidate after mutating
+        ``body`` in place, which must likewise invalidate any compiled
+        specialization of the old body.
+        """
         self._index = None
+        self.body_version += 1
 
     def index_of(self, label: int) -> int:
         """Position of the instruction with the given label."""
@@ -68,6 +79,7 @@ class Function:
     def append(self, instr: Instr) -> Instr:
         self.body.append(instr)
         self._index = None
+        self.body_version += 1
         return instr
 
     def insert_after(self, label: int, instr: Instr) -> Instr:
@@ -79,6 +91,7 @@ class Function:
         pos = self.index_of(label)
         self.body.insert(pos + 1, instr)
         self._index = None
+        self.body_version += 1
         return instr
 
     def remove(self, label: int) -> Instr:
@@ -89,6 +102,7 @@ class Function:
         pos = self.index_of(label)
         instr = self.body.pop(pos)
         self._index = None
+        self.body_version += 1
         return instr
 
     # ------------------------------------------------------------------

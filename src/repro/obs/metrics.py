@@ -63,6 +63,12 @@ class MetricsRegistry:
         self.histograms: Dict[str, Histogram] = {}
         self.workers: Dict[str, int] = {}
         self.timing: Dict[str, Histogram] = {}
+        #: Per-process counters (e.g. ``vm/compile/*``): they describe
+        #: work done in *this* process, so the multiprocess backend —
+        #: whose workers compile in their own processes — legitimately
+        #: reports different values than a serial run.  Machine/backend
+        #: dependent, excluded from the determinism contract.
+        self.process: Dict[str, int] = {}
 
     # -- deterministic section -----------------------------------------
 
@@ -79,6 +85,9 @@ class MetricsRegistry:
 
     def inc_worker(self, worker: str, amount: int = 1) -> None:
         self.workers[worker] = self.workers.get(worker, 0) + amount
+
+    def inc_process(self, name: str, amount: int = 1) -> None:
+        self.process[name] = self.process.get(name, 0) + amount
 
     def observe_timing(self, name: str, seconds: float) -> None:
         hist = self.timing.get(name)
@@ -102,4 +111,5 @@ class MetricsRegistry:
         snap["workers"] = dict(sorted(self.workers.items()))
         snap["timing"] = {name: self.timing[name].snapshot()
                           for name in sorted(self.timing)}
+        snap["process"] = dict(sorted(self.process.items()))
         return snap

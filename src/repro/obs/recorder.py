@@ -77,6 +77,13 @@ class NullRecorder:
         """Fold one exhaustive-exploration run's reduction counters
         (an :class:`~repro.sched.explorer.ExploreStats`)."""
 
+    def vm_compile(self, stats: dict) -> None:
+        """Fold the template compiler's counters for this process (a
+        ``repro.vm.compile.COMPILE_STATS`` snapshot delta): bodies
+        compiled, superinstructions fused, cache hits, compile seconds.
+        Per-process — workers of a multiprocess pool compile in their own
+        processes — so these land in the machine-dependent sections."""
+
     def aggregates(self) -> dict:
         return {}
 
@@ -192,6 +199,13 @@ class Recorder(NullRecorder):
         m.inc("explore/restores", stats.restores)
         if stats.snapshot_bytes > 0:
             m.observe("explore/snapshot_bytes", stats.snapshot_bytes)
+
+    def vm_compile(self, stats: dict) -> None:
+        m = self.metrics
+        for key in ("functions", "recompiles", "instructions",
+                    "superinstructions", "fused_ops", "cache_hits"):
+            m.inc_process("vm/compile/%s" % key, stats.get(key, 0))
+        m.observe_timing("vm/compile/seconds", stats.get("seconds", 0.0))
 
     # -- output --------------------------------------------------------
 

@@ -13,7 +13,7 @@ tested against brute force on random instances.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 _UNASSIGNED = -1
 
@@ -136,7 +136,7 @@ class SATSolver:
     # ------------------------------------------------------------------
     # Conflict analysis (first UIP)
 
-    def _analyze(self, conflict: int) -> (List[int], int):
+    def _analyze(self, conflict: int) -> Tuple[List[int], int]:
         learnt = []
         seen = [False] * (self.num_vars + 1)
         counter = 0

@@ -18,21 +18,19 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
-from ..ir import instructions as ins
 from ..ir.module import Module
 from ..memory.models import StoreBufferModel, make_model
+from ..vm.compile import make_vm
 from ..vm.errors import SpecViolationError, StepLimitExceeded
 from ..vm.interp import VM
 
 #: Builds a fresh memory-model instance for one explored path.
 ModelFactory = Callable[[], StoreBufferModel]
 
-#: Instructions that commute with every other thread's actions: they can
-#: be executed eagerly without branching (partial-order reduction).
-_LOCAL_OPS = (
-    ins.ConstInstr, ins.Mov, ins.BinOp, ins.UnOp,
-    ins.Br, ins.Cbr, ins.Nop, ins.SelfId, ins.AddrOf, ins.Assert,
-)
+#: Per-call budget handed to ``VM.run_local`` while advancing local
+#: instructions (the burst is repeated until no thread makes progress,
+#: so the value only bounds work per call, not total local progress).
+_LOCAL_BURST = 4096
 
 #: A choice: ("step", tid) or ("flush", tid, addr_or_None).
 Choice = Tuple
@@ -71,14 +69,17 @@ def _advance_local(vm: VM) -> None:
     Local steps commute with all other threads' actions, so executing
     them without branching preserves the reachable outcome set while
     collapsing the search tree (the explorer's partial-order reduction).
+    Each thread's local run is executed to completion before moving to
+    the next thread (rather than one op per thread round-robin) — the
+    commutativity that justifies the reduction also makes the two orders
+    reach the same state at every decision point, and depth-first runs
+    let the compiled VM use superinstructions.
     """
     progress = True
     while progress:
         progress = False
         for tid in vm.enabled_tids():
-            nxt = vm.peek(tid)
-            if nxt is not None and isinstance(nxt, _LOCAL_OPS):
-                vm.step(tid)
+            if vm.run_local(tid, _LOCAL_BURST, with_assert=True):
                 progress = True
 
 
@@ -103,13 +104,15 @@ def _apply(vm: VM, choice: Choice) -> None:
 
 def _run_with_prefix(module: Module, model_factory: ModelFactory,
                      entry: str, prefix: Sequence[int], max_steps: int,
-                     outcome_fn: OutcomeFn):
+                     outcome_fn: OutcomeFn,
+                     compiled: Optional[bool] = None):
     """Replay *prefix*, then default (first option) to completion.
 
     Returns (choices_taken, option_counts, outcome, violation).
     """
     model = model_factory()
-    vm = VM(module, model, entry=entry, max_steps=max_steps)
+    vm = make_vm(module, model, compiled=compiled, entry=entry,
+                 max_steps=max_steps)
     taken: List[int] = []
     counts: List[int] = []
     violation: Optional[str] = None
@@ -147,7 +150,8 @@ def explore(module: Module, model_name: str = "sc", entry: str = "main",
             outcome_fn: Optional[OutcomeFn] = None,
             max_paths: int = 20_000,
             max_steps: int = 2_000,
-            model_factory: Optional[ModelFactory] = None) -> ExplorationResult:
+            model_factory: Optional[ModelFactory] = None,
+            compiled: Optional[bool] = None) -> ExplorationResult:
     """Enumerate schedules of *module* under *model_name*.
 
     Outcomes are tuples of the named globals' final values (or whatever
@@ -180,7 +184,8 @@ def explore(module: Module, model_name: str = "sc", entry: str = "main",
             break
         prefix = stack.pop()
         taken, counts, outcome, violation = _run_with_prefix(
-            module, model_factory, entry, prefix, max_steps, outcome_fn)
+            module, model_factory, entry, prefix, max_steps, outcome_fn,
+            compiled=compiled)
         paths += 1
         if outcome is not None:
             outcomes.add(outcome)

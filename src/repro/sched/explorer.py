@@ -47,6 +47,7 @@ from ..ir import instructions as ins
 from ..ir.module import Module
 from ..memory.models import make_model
 from ..obs.recorder import NULL_RECORDER
+from ..vm.compile import make_vm
 from ..vm.errors import SpecViolationError, StepLimitExceeded
 from ..vm.interp import VM, VMSnapshot
 from .exhaustive import (
@@ -398,7 +399,8 @@ def explore_subtree(module: Module, model_factory: Optional[ModelFactory],
                     outcome_globals: Sequence[str],
                     prefix: Sequence[int],
                     sleep_items: Sequence[Tuple[Tuple, Footprint]],
-                    reduction: str, max_paths: int, max_steps: int):
+                    reduction: str, max_paths: int, max_steps: int,
+                    compiled: Optional[bool] = None):
     """Explore one subtree (identified by a choice-index prefix) to
     completion.  This is the unit of work shipped to parallel workers;
     it is also used in-process for the picklability fallback.
@@ -413,7 +415,8 @@ def explore_subtree(module: Module, model_factory: Optional[ModelFactory],
     stats = ExploreStats()
     outcomes: Set[Tuple] = set()
     violations: Set[str] = set()
-    vm = VM(module, model_factory(), entry=entry, max_steps=max_steps)
+    vm = make_vm(module, model_factory(), compiled=compiled, entry=entry,
+                 max_steps=max_steps)
     try:
         _replay_prefix(vm, prefix)
     except SpecViolationError as exc:
@@ -434,7 +437,8 @@ def _expand_frontier(module: Module, model_factory: ModelFactory,
                      entry: str, outcome_fn: OutcomeFn, max_steps: int,
                      target: int, max_depth: int, use_sleep: bool,
                      stats: ExploreStats, outcomes: Set[Tuple],
-                     violations: Set[str]):
+                     violations: Set[str],
+                     compiled: Optional[bool] = None):
     """Breadth-first expand the top of the choice tree into >= *target*
     subtree tasks (or fewer if the tree is small).
 
@@ -450,7 +454,8 @@ def _expand_frontier(module: Module, model_factory: ModelFactory,
                 or len(prefix) >= max_depth):
             tasks.append((prefix, sleep_items))
             continue
-        vm = VM(module, model_factory(), entry=entry, max_steps=max_steps)
+        vm = make_vm(module, model_factory(), compiled=compiled,
+                     entry=entry, max_steps=max_steps)
         try:
             _replay_prefix(vm, prefix)
         except SpecViolationError as exc:
@@ -491,7 +496,8 @@ def explore(module: Module, model_name: str = "sc", entry: str = "main",
             model_factory: Optional[ModelFactory] = None,
             reduction: str = "sleep+cache",
             workers: Optional[int] = None,
-            recorder=NULL_RECORDER) -> ExplorationResult:
+            recorder=NULL_RECORDER,
+            compiled: Optional[bool] = None) -> ExplorationResult:
     """Enumerate schedules of *module* under *model_name*.
 
     Drop-in replacement for :func:`repro.sched.exhaustive.explore` with
@@ -522,7 +528,7 @@ def explore(module: Module, model_name: str = "sc", entry: str = "main",
         result = run_parallel(
             module, model_factory, model_name, entry, outcome_fn,
             outcome_globals, reduction, max_paths, max_steps, count,
-            stats, outcomes, violations)
+            stats, outcomes, violations, compiled=compiled)
         if result is not None:
             recorder.explore(stats)
             return result
@@ -532,7 +538,8 @@ def explore(module: Module, model_name: str = "sc", entry: str = "main",
             return make_model(model_name)
     if outcome_fn is None:
         outcome_fn = _make_outcome_fn(outcome_globals)
-    vm = VM(module, model_factory(), entry=entry, max_steps=max_steps)
+    vm = make_vm(module, model_factory(), compiled=compiled, entry=entry,
+                 max_steps=max_steps)
     cache = {} if reduction == "sleep+cache" else None
     search = _Search(vm, outcome_fn, max_paths, reduction != "none",
                      cache, stats, outcomes, violations)

@@ -20,18 +20,12 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from ..ir import instructions as ins
 from ..vm.interp import VM
 from .base import Scheduler
 
 #: Cap on consecutive local steps, so register-only loops cannot starve
 #: the scheduler (real programs always reach a shared access or branch out).
 MAX_LOCAL_RUN = 64
-
-_LOCAL_OPS = (
-    ins.ConstInstr, ins.Mov, ins.BinOp, ins.UnOp,
-    ins.Br, ins.Cbr, ins.Nop, ins.SelfId, ins.AddrOf,
-)
 
 
 class FlushDelayScheduler(Scheduler):
@@ -99,8 +93,9 @@ class FlushDelayScheduler(Scheduler):
             self.trace.append(("flush", tid, addr))
 
     def _run_local(self, vm: VM, tid: int) -> None:
-        for _ in range(MAX_LOCAL_RUN):
-            nxt = vm.peek(tid)
-            if nxt is None or not isinstance(nxt, _LOCAL_OPS):
-                return
-            self._step(vm, tid)
+        # The burst is budget-counted in underlying instructions on both
+        # VM backends (the compiled VM executes it as superinstructions),
+        # so schedules — and therefore RNG draws — are backend-independent.
+        executed = vm.run_local(tid, MAX_LOCAL_RUN)
+        if executed and self.trace is not None:
+            self.trace.extend(("step", tid) for _ in range(executed))

@@ -22,6 +22,7 @@ from ..obs.recorder import NULL_RECORDER, NullRecorder
 from ..parallel.pool import ExecutionPool, Job, make_pool
 from ..sched.replay import Witness
 from ..spec.specifications import Specification
+from ..vm.compile import COMPILE_STATS, compile_stats_delta
 from ..vm.interp import DEFAULT_MAX_STEPS
 from .enforce import (
     FencePlacement,
@@ -62,7 +63,8 @@ class SynthesisConfig:
                  abort_on_unfixable: bool = False,
                  workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
-                 witness_limit: int = 5) -> None:
+                 witness_limit: int = 5,
+                 compiled: Optional[bool] = None) -> None:
         self.memory_model = memory_model
         self.flush_prob = flush_prob
         self.executions_per_round = executions_per_round
@@ -85,6 +87,11 @@ class SynthesisConfig:
             raise ValueError("witness_limit must be non-negative")
         #: Reproducible violation witnesses kept per round (0 disables).
         self.witness_limit = witness_limit
+        #: VM backend: True → closure-compiled, False → generic
+        #: interpreter, None → the process default (compiled unless
+        #: ``--no-compile``/``REPRO_NO_COMPILE``).  Both backends produce
+        #: byte-identical results; see ``repro.vm.compile``.
+        self.compiled = compiled
 
 
 class RoundReport:
@@ -220,7 +227,7 @@ class SynthesisEngine:
         cfg = self.config
         return make_pool(cfg.workers, cfg.memory_model, cfg.flush_prob,
                          por=cfg.por, max_steps=cfg.max_steps,
-                         chunk_size=cfg.chunk_size)
+                         chunk_size=cfg.chunk_size, compiled=cfg.compiled)
 
     # ------------------------------------------------------------------
 
@@ -246,6 +253,7 @@ class SynthesisEngine:
         placements: List[FencePlacement] = []
         exec_counter = 0
         run_start = time.perf_counter()
+        compile_before = COMPILE_STATS.snapshot() if rec.enabled else None
 
         with self._make_pool() as pool:
             with rec.span("broadcast"):
@@ -292,10 +300,11 @@ class SynthesisEngine:
                 rec.round_end(report, report.duration)
                 if outcome is not None:
                     return self._finish(module, outcome, rounds,
-                                        placements, run_start)
+                                        placements, run_start,
+                                        compile_before)
 
         return self._finish(module, SynthesisOutcome.ROUND_LIMIT, rounds,
-                            placements, run_start)
+                            placements, run_start, compile_before)
 
     def _repair_round(self, pool: ExecutionPool, module: Module,
                       spec: Specification, operations: Sequence[str],
@@ -337,10 +346,13 @@ class SynthesisEngine:
     def _finish(self, module: Module, outcome: SynthesisOutcome,
                 rounds: List[RoundReport],
                 placements: List[FencePlacement],
-                run_start: float) -> SynthesisResult:
+                run_start: float,
+                compile_before: Optional[dict] = None) -> SynthesisResult:
         result = SynthesisResult(module, outcome, rounds,
                                  self._surviving(module, placements))
         result.duration = time.perf_counter() - run_start
+        if compile_before is not None:
+            self.recorder.vm_compile(compile_stats_delta(compile_before))
         self.recorder.run_end(outcome.value, len(rounds),
                               result.fence_count, result.duration)
         return result
@@ -421,6 +433,7 @@ class SynthesisEngine:
         violations = 0
         discarded = 0
         example: Optional[str] = None
+        compile_before = COMPILE_STATS.snapshot() if rec.enabled else None
         with self._make_pool() as pool:
             with rec.span("broadcast"):
                 pool.broadcast(module, spec, operations)
@@ -441,6 +454,8 @@ class SynthesisEngine:
                                 break
                 finally:
                     summaries.close()
+        if compile_before is not None:
+            rec.vm_compile(compile_stats_delta(compile_before))
         return CheckStats(runs, violations, discarded, example)
 
     @staticmethod

@@ -113,6 +113,11 @@ def format_metrics(snapshot: dict) -> str:
                     "    %s: n=%d sum=%.6g min=%.6g max=%.6g mean=%.6g"
                     % (name, h["count"], h["sum"], h["min"] or 0,
                        h["max"] or 0, h["mean"]))
+    process = snapshot.get("process", {})
+    if process:
+        lines.append("  process:")
+        for name, value in process.items():
+            lines.append("    %s: %d" % (name, value))
     workers = snapshot.get("workers", {})
     if workers:
         lines.append("  worker jobs: %s"

@@ -28,6 +28,19 @@ from .state import Frame, Thread, ThreadStatus
 #: Default per-execution step budget.
 DEFAULT_MAX_STEPS = 200_000
 
+#: Instruction classes that only touch thread-local state (registers and
+#: control flow).  They commute with every other thread's actions, so the
+#: schedulers' partial-order reduction may run them back to back without
+#: offering the decision point to other threads.  The exploration variant
+#: additionally treats ``assert`` as local (its violation surfaces on
+#: every interleaving once its operands are fixed); the random scheduler
+#: keeps asserts as scheduling points, matching its historical behaviour.
+LOCAL_OPS = frozenset((
+    ins.ConstInstr, ins.Mov, ins.BinOp, ins.UnOp,
+    ins.Br, ins.Cbr, ins.Nop, ins.SelfId, ins.AddrOf,
+))
+LOCAL_OPS_ASSERT = LOCAL_OPS | frozenset((ins.Assert,))
+
 
 class VMSnapshot:
     """One captured VM execution state (see :meth:`VM.snapshot`).
@@ -270,6 +283,33 @@ class VM:
         if self.coverage is not None:
             self.coverage.add(instr.label)
         handlers[ip](self, thread, frame, instr)
+
+    def run_local(self, tid: int, budget: int,
+                  with_assert: bool = False) -> int:
+        """Execute up to *budget* consecutive thread-local instructions.
+
+        Stops early as soon as the thread's next instruction is not local
+        (shared access, fence, call/return, fork/join, allocation — the
+        scheduler-visible actions) or the thread cannot step.  Returns the
+        number of instructions executed.  ``with_assert`` additionally
+        treats ``assert`` as local (the exploration variant).
+
+        Semantically this is exactly ``budget`` repetitions of
+        "peek; stop if non-local; step" — the compiled VM overrides it
+        with superinstruction execution whose per-instruction accounting
+        (steps, seq, coverage, step limit) is identical.
+        """
+        local = LOCAL_OPS_ASSERT if with_assert else LOCAL_OPS
+        executed = 0
+        step = self.step
+        peek = self.peek
+        while executed < budget:
+            nxt = peek(tid)
+            if nxt is None or nxt.__class__ not in local:
+                break
+            step(tid)
+            executed += 1
+        return executed
 
     def _complete_join(self, thread: Thread) -> None:
         target = self.threads.get(thread.join_target)
